@@ -1,0 +1,80 @@
+"""E10 — Corollary 1.3: batch-dynamic maximal matching.
+
+A churn stream drives the matching structure; we record per-batch work,
+verify maximality after every batch, and report the burstiness profile
+(worst-case flavour should persist through the application layer).
+"""
+
+from __future__ import annotations
+
+from repro.apps import MaximalMatching
+from repro.graphs import streams
+from repro.instrument import CostModel, render_table
+
+from common import CONSTANTS, Experiment, drive, spike_ratio
+
+N = 32
+RHO_MAX = 6
+
+
+def measure():
+    cm = CostModel()
+    mm = MaximalMatching(RHO_MAX, N, eps=0.4, cm=cm, constants=CONSTANTS, seed=15)
+    ops = streams.churn(N, steps=40, batch_size=6, seed=15)
+    series = drive(mm, ops, cm)
+    mm.check_matching()
+    return series, mm
+
+
+def run_experiment() -> Experiment:
+    series, mm = measure()
+    rows = [
+        ("batches processed", len(series.records)),
+        ("final matching size", len(mm.matching())),
+        ("mean work / edge", f"{series.mean_work_per_edge():.0f}"),
+        ("p99 work / edge", f"{series.percentile_work_per_edge(99):.0f}"),
+        ("max work / edge", f"{series.max_work_per_edge():.0f}"),
+        ("spike (max/median)", f"{spike_ratio(series):.1f}x"),
+        ("max batch depth", series.max_depth()),
+    ]
+    table = render_table(["metric", "value"], rows)
+    return Experiment(
+        exp_id="E10",
+        title="batch-dynamic maximal matching (Corollary 1.3)",
+        claim=(
+            "maximal matching maintained with O(rho_max + polylog) "
+            "worst-case work per edge and polylog depth per batch"
+        ),
+        table=table,
+        conclusion=(
+            "maximality re-verified after all batches; per-edge work stays "
+            f"within a {spike_ratio(series):.1f}x band of its median — the "
+            "worst-case profile survives the application layer because "
+            "re-matching only touches O(rho_max)-degree neighbourhoods of "
+            "freed vertices."
+        ),
+    )
+
+
+def test_e10_matching_maximal_throughout():
+    cm = CostModel()
+    mm = MaximalMatching(RHO_MAX, N, eps=0.4, cm=cm, constants=CONSTANTS, seed=15)
+    for op in streams.churn(N, steps=40, batch_size=6, seed=15):
+        if op.kind == "insert":
+            mm.insert_batch(op.edges)
+        else:
+            mm.delete_batch(op.edges)
+        mm.check_matching()
+
+
+def test_e10_bounded_burstiness():
+    series, _ = measure()
+    assert spike_ratio(series) < 30
+
+
+def test_e10_wallclock(benchmark):
+    benchmark.pedantic(measure, rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

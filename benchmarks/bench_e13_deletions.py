@@ -1,0 +1,117 @@
+"""E13 — deletions are cheaper than insertions (Theorem 4.1: H^5 vs H^6).
+
+The same edge set is inserted and then deleted through BALANCED(H) for a
+sweep of H.  The theorem gives O(H^6 log n) per inserted edge vs
+O(H^5 log n) per deleted edge; the measured ratio should favour deletions
+and widen with H.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import BalancedOrientation
+from repro.graphs import generators as gen
+from repro.instrument import CostModel, render_table
+
+from common import Experiment
+
+HEIGHTS = [2, 4, 6, 8]
+
+
+def measure(H: int):
+    n, edges = gen.erdos_renyi(48, 50 * H, seed=19)
+    cm = CostModel()
+    st = BalancedOrientation(H=H, cm=cm)
+    batches = 0
+    for i in range(0, len(edges), 50):
+        st.insert_batch(edges[i : i + 50])
+        batches += 1
+    insert_work = cm.work
+    ins_rounds = cm.counters.get("insert_bundle_rounds", 0) / batches
+    doomed = list(edges)
+    random.Random(19).shuffle(doomed)
+    before = cm.snapshot()
+    batches_before = cm.counters.get("delete_bundles", 0)
+    del_batches = 0
+    for i in range(0, len(doomed), 50):
+        st.delete_batch(doomed[i : i + 50])
+        del_batches += 1
+    delete_work = cm.snapshot().work - before.work
+    del_bundles = (cm.counters.get("delete_bundles", 0) - batches_before) / del_batches
+    m = len(edges)
+    return insert_work / m, delete_work / m, ins_rounds, del_bundles
+
+
+def run_experiment() -> Experiment:
+    rows = []
+    for H in HEIGHTS:
+        ins, dele, ins_rounds, del_bundles = measure(H)
+        rows.append(
+            (
+                H,
+                f"{ins:.0f}",
+                f"{dele:.0f}",
+                f"{ins / dele:.2f}",
+                f"{ins_rounds:.1f} / {2 * (H + 1) ** 2 + 3}",
+                f"{del_bundles:.1f} / {H}",
+            )
+        )
+    table = render_table(
+        [
+            "H",
+            "insert work/edge",
+            "delete work/edge",
+            "ins/del",
+            "ins rounds (vs O(H^2))",
+            "del bundles (vs H)",
+        ],
+        rows,
+    )
+    return Experiment(
+        exp_id="E13",
+        title="insertion vs deletion cost (Theorem 4.1: H^6 vs H^5)",
+        claim=(
+            "batch deletions cost O(H^5 log n) per edge vs O(H^6 log n) for "
+            "insertions — the extra H factor is the O(H^2) bundle-extraction "
+            "loop (vs <= H deletion bundles)"
+        ),
+        table=table,
+        conclusion=(
+            "both paths run far below their bounds.  The *worst-case "
+            "drivers* match the theory: insertion needs up to O(H^2) "
+            "extraction rounds per batch while deletion needs at most H "
+            "bundles (last two columns).  On random inputs, however, the "
+            "insertion path's slack is much larger (extraction settles in "
+            "o(H) rounds), so the *measured* per-edge cost of deletions is "
+            "about 2x that of insertions — the H^6-vs-H^5 gap is a "
+            "worst-case statement that random workloads do not saturate; "
+            "an honest reproduction reports this rather than the bound."
+        ),
+    )
+
+
+def test_e13_measured_costs_same_order():
+    for H in (4, 8):
+        ins, dele, _, _ = measure(H)
+        assert 0.2 <= ins / dele <= 2.0  # same order; neither path blows up
+
+
+def test_e13_deletion_bundles_within_h():
+    for H in (2, 4, 8):
+        _, _, _, del_bundles = measure(H)
+        assert del_bundles <= H
+
+
+def test_e13_insert_rounds_within_quadratic():
+    for H in (2, 4, 8):
+        _, _, ins_rounds, _ = measure(H)
+        assert ins_rounds <= 2 * (H + 1) ** 2 + 3
+
+
+def test_e13_wallclock(benchmark):
+    benchmark.pedantic(lambda: measure(4), rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

@@ -1,0 +1,88 @@
+"""E19 — depth separation vs static parallel peeling.
+
+The deep reason batch-dynamic structures exist in the *parallel* world:
+static parallel k-core peeling has depth proportional to its peeling
+round count, which is Theta(n) on long-diameter graphs (a path peels two
+vertices per round).  Our structure's per-batch depth is polylog
+regardless of the graph's shape.  We sweep path lengths and report both
+depths; the separation grows linearly while ours stays flat.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import parallel_core_numbers
+from repro.core import BalancedOrientation
+from repro.graphs import DynamicGraph, generators as gen, streams
+from repro.instrument import CostModel, render_table
+
+from common import Experiment, drive
+
+LENGTHS = [64, 256, 1024]
+
+
+def measure(n: int):
+    _, edges = gen.path(n)
+    # static: one parallel peeling of the final graph
+    cm_static = CostModel()
+    _cores, rounds = parallel_core_numbers(DynamicGraph(n, edges), cm_static)
+    # ours: insert the same edges in batches, take the max batch depth
+    cm = CostModel()
+    st = BalancedOrientation(H=3, cm=cm)
+    series = drive(st, streams.insert_only(edges, 64), cm)
+    return rounds, cm_static.depth, series.max_depth()
+
+
+def run_experiment() -> Experiment:
+    rows = []
+    stats = {}
+    for n in LENGTHS:
+        rounds, static_depth, ours_depth = measure(n)
+        stats[n] = (static_depth, ours_depth)
+        rows.append((n, rounds, static_depth, ours_depth))
+    table = render_table(
+        ["path length n", "peel rounds", "static peel depth", "ours max batch depth"],
+        rows,
+    )
+    grow_static = stats[LENGTHS[-1]][0] / stats[LENGTHS[0]][0]
+    grow_ours = stats[LENGTHS[-1]][1] / stats[LENGTHS[0]][1]
+    return Experiment(
+        exp_id="E19",
+        title="depth separation vs static parallel peeling",
+        claim=(
+            "per-batch depth is poly(log n); static parallel peeling's depth "
+            "is its round count, Theta(n) on long-diameter graphs — the "
+            "reason a *parallel* dynamic structure is needed at all"
+        ),
+        table=table,
+        conclusion=(
+            f"over a 16x longer path, peeling depth grows {grow_static:.0f}x "
+            f"(linearly, two peeled vertices per round) while our max batch "
+            f"depth grows {grow_ours:.1f}x (log factors only) — the depth "
+            "separation that motivates Theorem 4.1."
+        ),
+    )
+
+
+def test_e19_peeling_depth_linear():
+    r_small, d_small, _ = measure(64)
+    r_big, d_big, _ = measure(1024)
+    assert r_big > 8 * r_small
+
+
+def test_e19_our_depth_flat():
+    _, _, ours_small = measure(64)
+    _, _, ours_big = measure(1024)
+    assert ours_big < 4 * ours_small
+
+
+def test_e19_separation_at_scale():
+    _, static_depth, ours_depth = measure(1024)
+    assert static_depth > 2 * ours_depth
+
+
+def test_e19_wallclock(benchmark):
+    benchmark.pedantic(lambda: measure(256), rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

@@ -1,0 +1,139 @@
+"""E2 — worst-case vs amortized per-batch cost (the paper's raison d'etre).
+
+Reproduces the qualitative separation of Section 1.1 with two adversaries:
+
+* **sawtooth** (vs the coreness maintainers): build a clique in one batch,
+  tear it down edge by edge, repeat.  Amortized coreness structures
+  (lazy rebuild, level data structure) pay for the build during the tiny
+  teardown batches — their per-batch work spikes far above the median.
+* **loaded path** (vs the orientation maintainers): orient a long path
+  forward with Brodal–Fagerberg's cap at 1, then insert a single trigger
+  edge at the head — one update cascades flips down the whole path.  Our
+  structure and the worst-case sequential comparator stay flat.
+
+Metric: ``spike = max / median`` of per-batch work-per-edge.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    BrodalFagerbergOrientation,
+    LazyRebuildCoreness,
+    LevelDataStructure,
+    SawlaniWangOrientation,
+)
+from repro.core import BalancedOrientation
+from repro.graphs import streams
+from repro.graphs.streams import BatchOp
+from repro.instrument import CostModel, render_table
+
+from common import Experiment, drive, spike_ratio
+
+K = 10  # clique size of the sawtooth
+REPEATS = 3
+PATH_LEN = 60
+
+
+def sawtooth_stream():
+    return streams.sawtooth_clique(K, repeats=REPEATS, small_batch=1)
+
+
+def loaded_path_stream():
+    """Forward path inserted edge-by-edge, then trigger edges at the head."""
+    ops = [BatchOp("insert", ((i, i + 1),)) for i in range(PATH_LEN)]
+    trigger = PATH_LEN + 1
+    for r in range(6):
+        ops.append(BatchOp("insert", ((0, trigger + r),)))
+        ops.append(BatchOp("delete", ((0, trigger + r),)))
+    return ops
+
+
+def measure(make_structure, stream) -> tuple[float, float, float]:
+    cm = CostModel()
+    structure = make_structure(cm)
+    series = drive(structure, stream(), cm)
+    return (
+        series.mean_work_per_edge(),
+        series.max_work_per_edge(),
+        spike_ratio(series),
+    )
+
+
+SAWTOOTH = [
+    ("ours: BALANCED(5), worst-case", lambda cm: BalancedOrientation(H=5, cm=cm)),
+    ("lazy rebuild (amortized)", lambda cm: LazyRebuildCoreness(tau=0.25, cm=cm)),
+    ("level DS (amortized, LSY+22-style)", lambda cm: LevelDataStructure(64, delta=0.5, cm=cm)),
+]
+
+LOADED_PATH = [
+    ("ours: BALANCED(4), worst-case", lambda cm: BalancedOrientation(H=4, cm=cm)),
+    ("Sawlani-Wang (sequential worst-case)", lambda cm: SawlaniWangOrientation(cm=cm)),
+    ("Brodal-Fagerberg cap=1 (amortized)", lambda cm: BrodalFagerbergOrientation(cap=1, cm=cm)),
+]
+
+
+def run_experiment() -> Experiment:
+    rows = []
+    spikes: dict[str, float] = {}
+    for name, make in SAWTOOTH:
+        mean, mx, spike = measure(make, sawtooth_stream)
+        spikes[name] = spike
+        rows.append(("sawtooth", name, f"{mean:.0f}", f"{mx:.0f}", f"{spike:.1f}x"))
+    for name, make in LOADED_PATH:
+        mean, mx, spike = measure(make, loaded_path_stream)
+        spikes[name] = spike
+        rows.append(("loaded path", name, f"{mean:.0f}", f"{mx:.0f}", f"{spike:.1f}x"))
+    table = render_table(
+        ["adversary", "structure", "mean work/edge", "max work/edge", "spike"], rows
+    )
+    ours_st = spikes[SAWTOOTH[0][0]]
+    ours_lp = spikes[LOADED_PATH[0][0]]
+    amortized = max(
+        spikes[SAWTOOTH[1][0]], spikes[SAWTOOTH[2][0]], spikes[LOADED_PATH[2][0]]
+    )
+    return Experiment(
+        exp_id="E2",
+        title="worst-case vs amortized per-batch work",
+        claim=(
+            "worst-case work bound: every batch costs O(b polylog n), "
+            "unlike amortized structures whose individual batches can cost "
+            "far more than their size (Section 1.1)"
+        ),
+        table=table,
+        conclusion=(
+            f"our spike ratios ({ours_st:.1f}x / {ours_lp:.1f}x) stay small on "
+            f"both adversaries while the amortized contenders reach up to "
+            f"{amortized:.0f}x: rebuild storms (lazy), level cascades (LDS) "
+            "and flip cascades (BF) all concentrate an amortized budget into "
+            "single tiny batches — exactly the short-term burstiness the "
+            "paper's worst-case bound eliminates."
+        ),
+    )
+
+
+def test_e2_ours_least_bursty_on_sawtooth():
+    spikes = {name: measure(make, sawtooth_stream)[2] for name, make in SAWTOOTH}
+    ours = spikes[SAWTOOTH[0][0]]
+    assert all(ours <= s + 1e-9 for s in spikes.values())
+
+
+def test_e2_lazy_rebuild_spikes():
+    ours = measure(SAWTOOTH[0][1], sawtooth_stream)[2]
+    lazy = measure(SAWTOOTH[1][1], sawtooth_stream)[2]
+    assert lazy > 5 * ours
+
+
+def test_e2_bf_cascades_on_loaded_path():
+    ours = measure(LOADED_PATH[0][1], loaded_path_stream)[2]
+    bf = measure(LOADED_PATH[2][1], loaded_path_stream)[2]
+    assert bf > 3 * ours
+
+
+def test_e2_wallclock(benchmark):
+    benchmark.pedantic(
+        lambda: measure(SAWTOOTH[0][1], sawtooth_stream), rounds=2, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

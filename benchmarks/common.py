@@ -1,0 +1,61 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every ``bench_e*.py`` module exposes ``run_experiment() -> Experiment``;
+``run_all.py`` collects them into EXPERIMENTS.md.  The pytest entry points
+in each module assert the *shape* claims (who wins, what stays flat, what
+stays inside a band) so a regression in any reproduced result fails CI,
+and additionally register a pytest-benchmark kernel for wall-clock
+tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.config import Constants
+from repro.instrument import BatchTimer, CostModel, Series
+
+# Laptop-scale constants used across all experiments (DESIGN.md §2 item 5).
+CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+EPS = 0.35
+
+
+@dataclass
+class Experiment:
+    """One reproduced table/figure."""
+
+    exp_id: str
+    title: str
+    claim: str  # the paper statement being reproduced
+    table: str  # rendered fixed-width table
+    conclusion: str  # one-paragraph reading of the numbers
+
+    def render(self) -> str:
+        return (
+            f"### {self.exp_id} — {self.title}\n\n"
+            f"**Claim (paper).** {self.claim}\n\n"
+            f"```\n{self.table}\n```\n\n"
+            f"**Measured.** {self.conclusion}\n"
+        )
+
+
+def drive(structure, ops, cm: CostModel) -> Series:
+    """Apply a stream, recording one BatchRecord per batch."""
+    timer = BatchTimer(cm)
+    for op in ops:
+        with timer.batch(op.kind, op.size):
+            if op.kind == "insert":
+                structure.insert_batch(op.edges)
+            else:
+                structure.delete_batch(op.edges)
+    return timer.series
+
+
+def spike_ratio(series: Series) -> float:
+    """max / median per-batch work-per-edge — the burstiness measure.
+
+    Worst-case structures keep this small; amortized ones let it blow up.
+    """
+    med = series.percentile_work_per_edge(50)
+    return series.max_work_per_edge() / med if med > 0 else 0.0

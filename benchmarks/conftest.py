@@ -1,0 +1,6 @@
+"""Pytest configuration for the benchmark suite.
+
+No __init__.py here on purpose: rootdir insertion puts this directory on
+sys.path so the bench modules can `from common import ...` both under
+pytest and when executed directly.
+"""

@@ -1,0 +1,59 @@
+"""Scenario: dense-subgraph alarms on a transaction graph.
+
+Sudden dense subgraphs in interaction/transaction graphs are a classic
+fraud / spam signal (dense blocks of colluding accounts).  This example
+ramps up a hidden dense block inside background noise and uses the
+batch-dynamic density estimator (Theorem 1.2) to raise an alarm the
+moment rho(G) crosses a threshold — with a worst-case per-batch cost, so
+the alarm latency is predictable.
+
+Run:  python examples/density_alarm.py
+"""
+
+from repro.baselines import exact_density
+from repro.config import Constants
+from repro.core import DensityEstimator
+from repro.graphs import DynamicGraph, generators, streams
+from repro.instrument import render_table
+
+CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+THRESHOLD = 3.0
+
+
+def main() -> None:
+    n = 50
+    de = DensityEstimator(n, eps=0.35, constants=CONSTANTS, seed=4)
+    mirror = DynamicGraph(n)
+
+    # background noise first (kept out of the block interior so the ramp
+    # below never collides with an existing edge)
+    _, noise = generators.planted_dense(n, block=12, p_in=0.0, out_edges=60, seed=5)
+    de.insert_batch(noise)
+    mirror.insert_batch(noise)
+
+    # then a fraud ring densifies block 0..11 step by step
+    ramp = streams.density_ramp(n, block=12, levels=6, per_level=11, seed=6)
+    rows = []
+    alarmed_at = None
+    for step, op in enumerate(ramp):
+        de.insert_batch(op.edges)
+        mirror.insert_batch(op.edges)
+        est = de.density_estimate()
+        rho = exact_density(mirror)
+        alarm = est > THRESHOLD
+        if alarm and alarmed_at is None:
+            alarmed_at = step
+        rows.append((step, mirror.m, f"{rho:.2f}", f"{est:.1f}", "ALARM" if alarm else ""))
+
+    print(render_table(["step", "edges", "exact rho", "rho_alg", "alarm"], rows))
+    if alarmed_at is None:
+        print("\nno alarm raised — increase ramp length")
+    else:
+        print(f"\nalarm raised at ramp step {alarmed_at} "
+              f"(threshold {THRESHOLD}, estimate within (1 +/- eps) of exact)")
+    print(f"low out-degree orientation: max d+ = {de.max_outdegree()} "
+          f"<= (2+eps) rho — usable for downstream matching/coloring")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: dynamic frequency assignment + link scheduling in a mesh.
+
+A wireless mesh changes as nodes move: links appear and disappear in
+batches.  Two classic subproblems ride on a low out-degree orientation:
+
+* *frequency assignment* — a proper vertex coloring (Corollary 1.4) so
+  that neighbouring nodes never share a frequency;
+* *link scheduling* — a maximal matching (Corollary 1.3) picks a set of
+  non-interfering links to activate each round.
+
+Both are maintained batch-dynamically here over a churning random
+geometric-ish topology, with validity re-verified after every batch.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from repro.apps import ExplicitColoring, MaximalMatching
+from repro.config import Constants
+from repro.graphs import streams
+from repro.instrument import render_table
+
+CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def main() -> None:
+    n = 36
+    rho_max = 5
+    coloring = ExplicitColoring(rho_max, n, eps=0.4, constants=CONSTANTS, seed=8)
+    schedule = MaximalMatching(rho_max, n, eps=0.4, constants=CONSTANTS, seed=9)
+
+    live: set = set()
+    rows = []
+    for step, op in enumerate(streams.churn(n, steps=24, batch_size=6, seed=10)):
+        if op.kind == "insert":
+            coloring.insert_batch(op.edges)
+            schedule.insert_batch(op.edges)
+            live |= set(op.edges)
+        else:
+            coloring.delete_batch(op.edges)
+            schedule.delete_batch(op.edges)
+            live -= set(op.edges)
+
+        coloring.check_proper(live)   # raises if any link shares a frequency
+        schedule.check_matching()     # raises if the schedule is not maximal
+
+        if step % 4 == 0:
+            used = {coloring.color_of(v) for v in range(n)}
+            rows.append(
+                (step, op.kind, len(live), len(used), len(schedule.matching()))
+            )
+
+    print(render_table(
+        ["step", "op", "links", "frequencies in use", "links scheduled"], rows
+    ))
+    print(f"\npalette size C = {coloring.C} (bound: O(rho_max log n)); "
+          f"fallbacks: {coloring.fallbacks}")
+    print("every batch re-verified: coloring proper, matching maximal")
+
+
+if __name__ == "__main__":
+    main()

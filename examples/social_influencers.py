@@ -1,0 +1,70 @@
+"""Scenario: tracking influential users in a streaming social network.
+
+k-core decomposition is the standard tool for finding influential
+spreaders in social networks [KGH+10]: high-coreness users sit in densely
+interconnected regions.  This example simulates an interaction stream
+(preferential attachment + a sliding expiry window, as in a "last-N-hours"
+interaction graph) and maintains the influencer set *dynamically* —
+exactly the workload the paper's worst-case guarantee targets, since a
+monitoring dashboard cannot tolerate occasional multi-second batches.
+
+Run:  python examples/social_influencers.py
+"""
+
+from repro.baselines import core_numbers
+from repro.config import Constants
+from repro.core import CorenessDecomposition
+from repro.graphs import DynamicGraph, generators, streams
+from repro.instrument import BatchTimer, CostModel, render_table
+
+CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def influencers(estimates: dict[int, float], top: int = 5) -> list[int]:
+    return [v for v, _ in sorted(estimates.items(), key=lambda kv: (-kv[1], kv[0]))[:top]]
+
+
+def main() -> None:
+    n = 60
+    _, edges = generators.barabasi_albert(n, 3, seed=11)
+    window_ops = streams.sliding_window(edges, window=4, batch_size=20)
+    print(f"simulated interaction stream: {len(edges)} interactions, "
+          f"window of 4 batches x 20 edges\n")
+
+    cm = CostModel()
+    cd = CorenessDecomposition(n, eps=0.4, cm=cm, constants=CONSTANTS, seed=3)
+    mirror = DynamicGraph(n)
+    timer = BatchTimer(cm)
+
+    rows = []
+    for step, op in enumerate(window_ops):
+        with timer.batch(op.kind, op.size):
+            if op.kind == "insert":
+                cd.insert_batch(op.edges)
+                mirror.insert_batch(op.edges)
+            else:
+                cd.delete_batch(op.edges)
+                mirror.delete_batch(op.edges)
+        if step % 3 == 0:
+            ests = cd.estimates(sorted(mirror.touched_vertices()))
+            exact = core_numbers(mirror)
+            top = influencers(ests)
+            exact_top = influencers({v: float(c) for v, c in exact.items()})
+            overlap = len(set(top) & set(exact_top))
+            rows.append((step, op.kind, mirror.m, " ".join(map(str, top)), f"{overlap}/5"))
+
+    print(render_table(
+        ["step", "op", "live edges", "top-5 by core_alg", "overlap w/ exact"], rows
+    ))
+
+    series = timer.series
+    print(
+        f"\nper-batch work: mean {series.mean_work_per_edge():.0f}/edge, "
+        f"p99 {series.percentile_work_per_edge(99):.0f}/edge, "
+        f"max {series.max_work_per_edge():.0f}/edge"
+    )
+    print(f"max batch depth: {series.max_depth()} (polylog — the dashboard never stalls)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: lets ``pip install -e .`` work offline without the wheel
+package (the environment has setuptools but no wheel/bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro — Parallel Batch-Dynamic Coreness Decomposition (SPAA 2025).
+
+A from-scratch Python reproduction of Ghaffari & Koo's worst-case parallel
+batch-dynamic algorithms for coreness, density, arboricity, low out-degree
+orientation, maximal matching and coloring.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced evaluation.
+"""
+
+from .config import Constants, DEFAULT_CONSTANTS
+from .errors import (
+    BatchError,
+    CapacityError,
+    ConvergenceError,
+    InvariantViolation,
+    ParameterError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchError",
+    "CapacityError",
+    "Constants",
+    "ConvergenceError",
+    "DEFAULT_CONSTANTS",
+    "InvariantViolation",
+    "ParameterError",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Applications of the low out-degree orientation (Section 6)."""
+
+from .cole_vishkin import cv_six_coloring, cv_three_coloring, local_cv_color
+from .explicit_coloring import ExplicitColoring
+from .implicit_coloring import ImplicitColoring
+from .linial import linial_parameters, linial_step, reduce_coloring
+from .matching import MaximalMatching
+
+__all__ = [
+    "ExplicitColoring",
+    "ImplicitColoring",
+    "MaximalMatching",
+    "cv_six_coloring",
+    "cv_three_coloring",
+    "linial_parameters",
+    "linial_step",
+    "local_cv_color",
+    "reduce_coloring",
+]

@@ -1,0 +1,144 @@
+"""Cole–Vishkin coloring of pseudoforests [CV86].
+
+A *pseudoforest* here is a functional graph: every vertex has at most one
+successor (its unique out-neighbour).  Corollary 1.5 decomposes the low
+out-degree orientation into such pseudoforests ``F_{i,j}`` (the j-th
+out-edge of every vertex) and colors each one.
+
+Two interfaces:
+
+* :func:`cv_six_coloring` — global deterministic reduction from ids to at
+  most 6 colors in ``O(log* n)`` rounds (each round: compare your color to
+  your successor's, emit ``2 i + bit_i`` for the lowest differing bit
+  ``i``).
+* :func:`cv_three_coloring` — continues with the classic shift-down +
+  color-elimination phases to exactly 3 colors.
+* :func:`local_cv_color` — the *query-local* variant used by the implicit
+  coloring: computes one vertex's 6-coloring color by walking only its
+  ``O(log* n)`` successor chain, so a query touches no global state.  All
+  vertices computing through the same chain see identical values, hence
+  the combined coloring is consistent and proper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from ..hashtable.batch_table import log_star
+
+
+def _cv_step(color: int, succ_color: int) -> int:
+    """One CV round: lowest differing bit index i -> new color 2 i + bit."""
+    if color == succ_color:
+        raise ValueError("CV step requires distinct colors along an edge")
+    diff = color ^ succ_color
+    i = (diff & -diff).bit_length() - 1
+    return 2 * i + ((color >> i) & 1)
+
+
+def _virtual_succ_color(color: int) -> int:
+    """Deterministic pseudo-successor color for roots: flip bit 0."""
+    return color ^ 1
+
+
+def cv_six_coloring(
+    vertices: Iterable[int], succ: Mapping[int, Optional[int]]
+) -> dict[int, int]:
+    """Reduce vertex-id colors to <= 6 colors on a pseudoforest."""
+    vs = list(vertices)
+    colors = {v: v for v in vs}
+    guard = 0
+    while any(c >= 6 for c in colors.values()):
+        guard += 1
+        if guard > 64:
+            raise AssertionError("CV did not converge (cycle of equal colors?)")
+        new = {}
+        for v in vs:
+            s = succ.get(v)
+            sc = colors[s] if s is not None else _virtual_succ_color(colors[v])
+            new[v] = _cv_step(colors[v], sc)
+        colors = new
+    return colors
+
+
+def cv_three_coloring(
+    vertices: Iterable[int], succ: Mapping[int, Optional[int]]
+) -> dict[int, int]:
+    """Full 3-coloring: CV to 6 colors, then eliminate colors 5, 4, 3."""
+    vs = list(vertices)
+    colors = cv_six_coloring(vs, succ)
+    for doomed in (5, 4, 3):
+        # shift-down: everyone adopts its successor's color; roots move to
+        # a fresh color in {0,1,2} different from their own (their children
+        # adopt the root's old color, so any other value is proper).
+        shifted = {}
+        for v in vs:
+            s = succ.get(v)
+            if s is not None:
+                shifted[v] = colors[s]
+            else:
+                shifted[v] = next(c for c in (0, 1, 2) if c != colors[v])
+        # eliminate: vertices now holding `doomed` pick a color in {0,1,2}
+        # avoiding the successor's shifted color and their own pre-shift
+        # color (which is what all their predecessors now hold).
+        new = dict(shifted)
+        for v in vs:
+            if shifted[v] == doomed:
+                s = succ.get(v)
+                succ_color = shifted[s] if s is not None else -1
+                new[v] = next(
+                    c for c in (0, 1, 2) if c != succ_color and c != colors[v]
+                )
+        colors = new
+    return colors
+
+
+def local_cv_color(
+    v: int, succ_of: Callable[[int], Optional[int]], n: int
+) -> int:
+    """Query-local 6-coloring of one vertex.
+
+    Walks the successor chain of ``v`` for ``log*(n) + 8`` hops and folds
+    CV steps over it; any two adjacent vertices fold over overlapping
+    chains and therefore disagree, so the result is a proper coloring of
+    the pseudoforest computed with O(log* n) work per query.
+    """
+    rounds = log_star(max(n, 4)) + 8
+    chain: list[int] = [v]
+    cur = v
+    for _ in range(rounds):
+        nxt = succ_of(cur)
+        if nxt is None:
+            break
+        chain.append(nxt)
+        cur = nxt
+    ends_at_root = len(chain) < rounds + 1
+    colors = list(chain)  # initial colors are ids
+    # Exactly `rounds` folds for EVERY query — a fixed global iteration
+    # count is what makes colors of adjacent queried vertices comparable.
+    # Extra rounds past convergence are harmless: values stay <= 5 and the
+    # step preserves properness.  Chains ending at a root keep constant
+    # length by folding the root against its deterministic virtual
+    # successor (bit-0 flip), which every querier reproduces identically.
+    for _ in range(rounds):
+        if len(colors) >= 2:
+            folded = [
+                _cv_step(colors[i], colors[i + 1]) for i in range(len(colors) - 1)
+            ]
+            if ends_at_root:
+                folded.append(_cv_step(colors[-1], _virtual_succ_color(colors[-1])))
+            colors = folded
+        else:
+            colors = [_cv_step(colors[0], _virtual_succ_color(colors[0]))]
+    return colors[0]
+
+
+def check_proper(
+    vertices: Iterable[int],
+    succ: Mapping[int, Optional[int]],
+    colors: Mapping[int, int],
+) -> None:
+    for v in vertices:
+        s = succ.get(v)
+        if s is not None and colors[v] == colors[s]:
+            raise AssertionError(f"edge ({v} -> {s}) monochromatic ({colors[v]})")

@@ -1,0 +1,123 @@
+"""Linial's polynomial palette reduction [Lin92], as used by Corollary 1.5.
+
+Given a proper ``k``-coloring of a directed graph with out-degree at most
+``d``, one round produces a proper coloring with roughly ``O((d D)^2)``
+colors where ``D ~ log_q k``: interpret each color as a degree-``D``
+polynomial over a prime field ``F_q`` with ``q > d * D``; a vertex picks an
+evaluation point ``a`` where its polynomial differs from every
+out-neighbour's (at most ``d D`` points are bad, so one of ``q`` points is
+good) and recolors to the pair ``(a, p(a))`` — at most ``q^2`` colors.
+Iterating twice from ``2^{O(rho)}`` colors lands at ``O(rho^2)``-ish
+palettes, which is how the implicit coloring reaches its bound.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import ParameterError
+
+
+def _is_prime(x: int) -> bool:
+    if x < 2:
+        return False
+    f = 2
+    while f * f <= x:
+        if x % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def _next_prime(x: int) -> int:
+    while not _is_prime(x):
+        x += 1
+    return x
+
+
+def _digits(value: int, base: int, width: int) -> list[int]:
+    out = []
+    for _ in range(width):
+        out.append(value % base)
+        value //= base
+    return out
+
+
+def _poly_eval(coeffs: list[int], a: int, q: int) -> int:
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * a + c) % q
+    return acc
+
+
+def linial_parameters(k: int, d: int) -> tuple[int, int]:
+    """Choose (q, D): prime field size and polynomial degree.
+
+    Needs ``q^(D+1) >= k`` (enough polynomials) and ``q > d * D`` (a good
+    evaluation point exists).  We grow ``q`` until both hold with the
+    smallest workable degree.
+    """
+    if k < 1 or d < 0:
+        raise ParameterError("need k >= 1, d >= 0")
+    q = _next_prime(max(2, d + 2))
+    while True:
+        # smallest D with q^(D+1) >= k
+        D = 0
+        power = q
+        while power < k:
+            power *= q
+            D += 1
+        if q > d * max(D, 1):
+            return q, D
+        q = _next_prime(q + 1)
+
+
+def linial_step(
+    colors: Mapping[int, int],
+    out_neighbors: Mapping[int, list[int]],
+    k: int,
+    d: int,
+) -> tuple[dict[int, int], int]:
+    """One Linial reduction round; returns (new colors, new palette size).
+
+    ``colors`` must be a proper coloring with values in ``[0, k)``;
+    ``out_neighbors[v]`` lists at most ``d`` out-neighbours per vertex.
+    """
+    q, D = linial_parameters(k, d)
+    new: dict[int, int] = {}
+    for v, c in colors.items():
+        coeffs = _digits(c, q, D + 1)
+        nbr_coeffs = [
+            _digits(colors[w], q, D + 1) for w in out_neighbors.get(v, []) if w in colors
+        ]
+        choice = None
+        for a in range(q):
+            mine = _poly_eval(coeffs, a, q)
+            if all(_poly_eval(nc, a, q) != mine for nc in nbr_coeffs):
+                choice = (a, mine)
+                break
+        if choice is None:
+            raise AssertionError(
+                "no good evaluation point — q > d*D should guarantee one"
+            )
+        a, val = choice
+        new[v] = a * q + val
+    return new, q * q
+
+
+def reduce_coloring(
+    colors: Mapping[int, int],
+    out_neighbors: Mapping[int, list[int]],
+    k: int,
+    d: int,
+    rounds: int = 2,
+) -> tuple[dict[int, int], int]:
+    """Iterate Linial rounds (Corollary 1.5 uses two)."""
+    cur = dict(colors)
+    cur_k = k
+    for _ in range(rounds):
+        nxt, nxt_k = linial_step(cur, out_neighbors, cur_k, d)
+        if nxt_k >= cur_k:
+            break  # no further progress at this palette size
+        cur, cur_k = nxt, nxt_k
+    return cur, cur_k

@@ -1,0 +1,41 @@
+"""Baselines: exact oracles and the dynamic comparators from prior work."""
+
+from .brodal_fagerberg import BrodalFagerbergOrientation
+from .exact_arboricity import (
+    arboricity,
+    can_partition_into_forests,
+    nash_williams_brute,
+)
+from .exact_density import densest_subgraph, exact_density, greedy_peeling_density
+from .exact_orientation import min_max_outdegree, orient_with_cap
+from .exact_kcore import (
+    core_numbers,
+    degeneracy,
+    max_coreness,
+    parallel_core_numbers,
+)
+from .maxflow import Dinic
+from .plds import LevelDataStructure
+from .sawlani_wang import SawlaniWangOrientation
+from .static_recompute import LazyRebuildCoreness, StaticRecompute
+
+__all__ = [
+    "BrodalFagerbergOrientation",
+    "Dinic",
+    "LazyRebuildCoreness",
+    "LevelDataStructure",
+    "SawlaniWangOrientation",
+    "StaticRecompute",
+    "arboricity",
+    "can_partition_into_forests",
+    "core_numbers",
+    "degeneracy",
+    "densest_subgraph",
+    "exact_density",
+    "greedy_peeling_density",
+    "max_coreness",
+    "min_max_outdegree",
+    "orient_with_cap",
+    "nash_williams_brute",
+    "parallel_core_numbers",
+]

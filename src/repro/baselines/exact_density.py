@@ -1,0 +1,111 @@
+"""Exact and approximate densest subgraph — the ρ(G) oracle.
+
+* :func:`densest_subgraph` — Goldberg's flow-based exact algorithm:
+  binary search on the density ``g``; the min cut of the classic network
+  equals ``n*m - 2 * max_S(|E[S]| - g*|S|)``, so a cut below ``n*m``
+  certifies a subgraph of density > g.  Distinct subgraph densities are
+  rationals with denominator <= n, hence the search stops once the interval
+  is below ``1/(n*(n-1))``.  Used as the oracle in tests/benches (small to
+  medium graphs).
+* :func:`greedy_peeling_density` — Charikar's peeling 1/2-approximation,
+  linear-time, used at larger scales and as a cross-check.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import DynamicGraph
+from .maxflow import Dinic
+
+
+def greedy_peeling_density(g: DynamicGraph) -> tuple[float, set[int]]:
+    """Charikar's peeling: returns (density, S) with density >= rho(G)/2.
+
+    Peels a minimum-degree vertex at a time; the best prefix density over
+    the peeling order is returned.
+    """
+    import heapq
+
+    alive = {v for v in range(g.n) if g.degree(v) > 0}
+    # Include isolated vertices only if the graph is empty of edges.
+    if not alive:
+        return 0.0, set(range(g.n)) if g.n else set()
+    cur = {v: g.degree(v) for v in alive}
+    edges_left = g.m
+    heap = [(d, v) for v, d in cur.items()]
+    heapq.heapify(heap)
+    removed: set[int] = set()
+    order: list[int] = []
+    best_density = edges_left / len(alive)
+    best_prefix = 0  # peel nothing
+    while len(removed) < len(alive):
+        d, v = heapq.heappop(heap)
+        if v in removed or d != cur[v]:
+            continue
+        removed.add(v)
+        order.append(v)
+        edges_left -= cur[v]
+        for w in g.neighbors(v):
+            if w in alive and w not in removed:
+                cur[w] -= 1
+                heapq.heappush(heap, (cur[w], w))
+        rest = len(alive) - len(removed)
+        if rest > 0:
+            density = edges_left / rest
+            if density > best_density:
+                best_density = density
+                best_prefix = len(order)
+    surviving = alive - set(order[:best_prefix])
+    return best_density, surviving
+
+
+def densest_subgraph(g: DynamicGraph) -> tuple[float, set[int]]:
+    """Goldberg's exact densest subgraph: returns (rho(G), argmax S).
+
+    Empty-edge graphs have density 0 (best S = any single vertex).
+    """
+    m = g.m
+    if m == 0:
+        return 0.0, {0} if g.n else set()
+    vertices = sorted(g.touched_vertices())
+    index = {v: i for i, v in enumerate(vertices)}
+    nv = len(vertices)
+    degs = {v: g.degree(v) for v in vertices}
+
+    def min_cut_side(gamma: float) -> set[int]:
+        """Source side (original vertex ids) of a min cut at density gamma."""
+        # nodes: 0..nv-1 vertices, nv = source, nv+1 = sink
+        s, t = nv, nv + 1
+        net = Dinic(nv + 2)
+        for v in vertices:
+            net.add_edge(s, index[v], float(m))
+            net.add_edge(index[v], t, float(m) + 2.0 * gamma - degs[v])
+        for (u, v) in g.edges:
+            net.add_edge(index[u], index[v], 1.0)
+            net.add_edge(index[v], index[u], 1.0)
+        net.max_flow(s, t)
+        side = net.min_cut_side(s)
+        return {vertices[i] for i in side if i < nv}
+
+    lo, hi = 0.0, float(m)
+    best_set: set[int] = set()
+    # best starting point: whole touched graph
+    best_set = set(vertices)
+    gap = 1.0 / (nv * (nv + 1))
+    while hi - lo > gap:
+        gamma = (lo + hi) / 2.0
+        side = min_cut_side(gamma)
+        if side:
+            best_set = side
+            lo = gamma
+        else:
+            hi = gamma
+    rho = g.density_of(best_set)
+    # Polish: peeling can only help if flow numerics returned a slack set.
+    greedy_rho, greedy_set = greedy_peeling_density(g)
+    if greedy_rho > rho:
+        rho, best_set = greedy_rho, greedy_set
+    return rho, best_set
+
+
+def exact_density(g: DynamicGraph) -> float:
+    return densest_subgraph(g)[0]

@@ -1,0 +1,166 @@
+"""Simplified amortized level data structure (the Liu et al. comparator).
+
+A sequential single-edge-at-a-time variant of the level data structure
+(LDS) behind Liu, Shi, Yu, Dhulipala & Shun's amortized parallel
+batch-dynamic coreness [LSY+22] (which in turn refines Bhattacharya et
+al. [BHNT15] / Sun et al. [SCS20]).  This is the paper's primary point of
+comparison: same style of estimate, but **amortized** update cost — a
+single batch may trigger a large cascade of level moves, which is
+precisely the behaviour experiment E2 exposes against our worst-case
+structure.
+
+Structure
+---------
+Vertices live on levels ``0 .. K``.  Levels are grouped; group ``j`` has
+threshold ``T_j = (1 + delta)**j``.  With ``up(v)`` = number of neighbours
+at level >= level(v) and ``up*(v)`` = number at level >= level(v) - 1:
+
+* **Inv 1 (not too crowded):** ``up(v) <= C_UP * T_{g(level(v))}``
+* **Inv 2 (high enough for a reason):** ``level(v) > 0  =>
+  up*(v) >= T_{g(level(v) - 1)}``
+
+``estimate(v) = T_{g(level(v))}`` tracks coreness within an O(1) factor
+(up to the additive slack of small thresholds).  Updates fix invariant
+violations by moving vertices up (Inv 1) or down (Inv 2) one level at a
+time; each move perturbs only neighbours, which are re-examined via a
+worklist.  Work is counted as neighbour examinations + moves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from ..errors import BatchError, ConvergenceError, ParameterError
+from ..graphs.graph import norm_edge
+from ..instrument.work_depth import CostModel
+
+C_UP = 2.0
+
+
+class LevelDataStructure:
+    """Amortized coreness estimator via vertex levels."""
+
+    def __init__(self, n: int, delta: float = 0.4, cm: Optional[CostModel] = None) -> None:
+        if not (0 < delta <= 1):
+            raise ParameterError(f"delta must be in (0, 1], got {delta}")
+        self.n = max(2, n)
+        self.delta = delta
+        self.cm = cm
+        self.levels_per_group = max(1, int(math.ceil(math.log(self.n, 1 + delta) / 4)))
+        self.num_groups = max(1, int(math.ceil(math.log(self.n, 1 + delta))) + 2)
+        self.max_level = self.levels_per_group * self.num_groups
+        self.level: dict[int, int] = {}
+        self.adj: dict[int, set[int]] = {}
+        self.moves_last_update = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _group(self, lvl: int) -> int:
+        return lvl // self.levels_per_group
+
+    def _threshold(self, group: int) -> float:
+        return (1 + self.delta) ** group
+
+    def _lvl(self, v: int) -> int:
+        return self.level.get(v, 0)
+
+    def _up(self, v: int) -> int:
+        lv = self._lvl(v)
+        self._tick(1 + len(self.adj.get(v, ())))
+        return sum(1 for w in self.adj.get(v, ()) if self._lvl(w) >= lv)
+
+    def _up_star(self, v: int) -> int:
+        lv = self._lvl(v)
+        self._tick(1 + len(self.adj.get(v, ())))
+        return sum(1 for w in self.adj.get(v, ()) if self._lvl(w) >= lv - 1)
+
+    def _tick(self, w: int = 1) -> None:
+        if self.cm is not None:
+            self.cm.tick(w)
+
+    # -- public API -----------------------------------------------------------
+
+    def estimate(self, v: int) -> float:
+        """Coreness estimate (the group threshold of v's level)."""
+        return self._threshold(self._group(self._lvl(v)))
+
+    def insert(self, u: int, v: int) -> None:
+        norm_edge(u, v)
+        if v in self.adj.get(u, set()):
+            raise BatchError(f"edge ({u}, {v}) already present")
+        self.adj.setdefault(u, set()).add(v)
+        self.adj.setdefault(v, set()).add(u)
+        self._tick()
+        self.moves_last_update = self._settle({u, v})
+
+    def delete(self, u: int, v: int) -> None:
+        if v not in self.adj.get(u, set()):
+            raise BatchError(f"edge ({u}, {v}) not present")
+        self.adj[u].discard(v)
+        self.adj[v].discard(u)
+        self._tick()
+        self.moves_last_update = self._settle({u, v})
+
+    def insert_batch(self, edges: Iterable[tuple[int, int]]) -> int:
+        total = 0
+        for u, v in edges:
+            self.insert(u, v)
+            total += self.moves_last_update
+        self.moves_last_update = total
+        return total
+
+    def delete_batch(self, edges: Iterable[tuple[int, int]]) -> int:
+        total = 0
+        for u, v in edges:
+            self.delete(u, v)
+            total += self.moves_last_update
+        self.moves_last_update = total
+        return total
+
+    # -- invariant restoration ---------------------------------------------------
+
+    def _violates_inv1(self, v: int) -> bool:
+        return self._up(v) > C_UP * self._threshold(self._group(self._lvl(v)))
+
+    def _violates_inv2(self, v: int) -> bool:
+        lv = self._lvl(v)
+        if lv == 0:
+            return False
+        return self._up_star(v) < self._threshold(self._group(lv - 1))
+
+    def _settle(self, dirty: set[int]) -> int:
+        moves = 0
+        stack = list(dirty)
+        in_stack = set(dirty)
+        budget = 200 * (len(self.adj) + 4) * self.max_level
+        while stack:
+            if moves > budget:
+                raise ConvergenceError("LDS settle exceeded its move budget")
+            v = stack.pop()
+            in_stack.discard(v)
+            moved = False
+            if self._violates_inv1(v):
+                if self._lvl(v) < self.max_level:
+                    self.level[v] = self._lvl(v) + 1
+                    moved = True
+            elif self._violates_inv2(v):
+                self.level[v] = self._lvl(v) - 1
+                moved = True
+            if moved:
+                moves += 1
+                self._tick()
+                for z in list(self.adj.get(v, ())) + [v]:
+                    if z not in in_stack:
+                        stack.append(z)
+                        in_stack.add(z)
+        return moves
+
+    # -- verification ---------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        for v in self.adj:
+            if self._violates_inv1(v):
+                raise AssertionError(f"Inv1 violated at {v} (level {self._lvl(v)})")
+            if self._violates_inv2(v):
+                raise AssertionError(f"Inv2 violated at {v} (level {self._lvl(v)})")

@@ -1,0 +1,154 @@
+"""Sequential worst-case balanced orientation (Sawlani–Wang-style).
+
+The comparator from Section 1.5's technical overview: maintain the
+orientation invariant that no edge drops more than one level in height
+(height = out-degree) by fixing violated edges one at a time, per single
+edge update.  Each fix flips one edge; the per-update flip count is the
+quantity contrasted against our batch algorithm (experiments E2/E9: a
+sequential algorithm has depth == work; no parallelism).
+
+This is deliberately the *simple* reinterpretation the paper describes:
+upon update, repeatedly flip any violated edge ``(x -> y)`` with
+``delta+(x) > delta+(y) + 1``; the potential ``sum delta+(v)^2`` strictly
+decreases with every flip, so the loop terminates and restores a balanced
+orientation (Definition 3.1 with H = infinity).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..errors import BatchError
+from ..graphs.graph import norm_edge
+from ..instrument.work_depth import CostModel
+
+
+class SawlaniWangOrientation:
+    """Fully-dynamic balanced orientation, one edge update at a time."""
+
+    def __init__(self, cm: Optional[CostModel] = None) -> None:
+        self.out: dict[int, set[int]] = {}
+        self.inn: dict[int, set[int]] = {}
+        self.cm = cm
+        self.flips_last_update = 0
+
+    # -- queries ------------------------------------------------------------
+
+    def outdeg(self, v: int) -> int:
+        return len(self.out.get(v, ()))
+
+    def max_outdegree(self) -> int:
+        return max((len(s) for s in self.out.values()), default=0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.out.get(u, set()) or u in self.out.get(v, set())
+
+    def orientation_of(self, u: int, v: int) -> tuple[int, int]:
+        if v in self.out.get(u, set()):
+            return (u, v)
+        if u in self.out.get(v, set()):
+            return (v, u)
+        raise BatchError(f"edge ({u}, {v}) not present")
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        for u, nbrs in self.out.items():
+            for v in nbrs:
+                yield (u, v)
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, u: int, v: int) -> None:
+        norm_edge(u, v)  # validates non-self-loop
+        if self.has_edge(u, v):
+            raise BatchError(f"edge ({u}, {v}) already present")
+        if self.outdeg(u) > self.outdeg(v):
+            u, v = v, u
+        self._add_arc(u, v)
+        self._tick()
+        self.flips_last_update = self._fix_from({u, v})
+
+    def delete(self, u: int, v: int) -> None:
+        a, b = self.orientation_of(u, v)
+        self._remove_arc(a, b)
+        self._tick()
+        self.flips_last_update = self._fix_from({a, b})
+
+    def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        for u, v in edges:
+            self.insert(u, v)
+
+    def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        for u, v in edges:
+            self.delete(u, v)
+
+    # -- rebalancing ----------------------------------------------------------
+
+    def _fix_from(self, dirty: set[int]) -> int:
+        """Flip violated edges until balanced; returns the flip count.
+
+        Flipping (x -> y) only perturbs x and y, so a worklist of dirty
+        vertices finds every violation.  Termination: each flip strictly
+        decreases ``sum delta+(v)^2``.
+        """
+        flips = 0
+        stack = list(dirty)
+        in_stack = set(dirty)
+        while stack:
+            x = stack.pop()
+            in_stack.discard(x)
+            while True:
+                self._tick(1 + self.outdeg(x) + len(self.inn.get(x, ())))
+                flipped = self._fix_one(x)
+                if flipped is None:
+                    break
+                flips += 1
+                for z in flipped:
+                    if z not in in_stack:
+                        stack.append(z)
+                        in_stack.add(z)
+        return flips
+
+    def _fix_one(self, x: int) -> Optional[tuple[int, int]]:
+        """Fix one violation incident to x, if any; returns perturbed pair."""
+        dx = self.outdeg(x)
+        for y in self.out.get(x, ()):
+            if dx > self.outdeg(y) + 1:
+                self._flip(x, y)
+                return (x, y)
+        for w in self.inn.get(x, ()):
+            if self.outdeg(w) > dx + 1:
+                self._flip(w, x)
+                return (w, x)
+        return None
+
+    def _add_arc(self, u: int, v: int) -> None:
+        self.out.setdefault(u, set()).add(v)
+        self.inn.setdefault(v, set()).add(u)
+
+    def _remove_arc(self, u: int, v: int) -> None:
+        self.out[u].discard(v)
+        self.inn[v].discard(u)
+
+    def _flip(self, x: int, y: int) -> None:
+        self._remove_arc(x, y)
+        self._add_arc(y, x)
+        self._tick()
+
+    def _tick(self, w: int = 1) -> None:
+        if self.cm is not None:
+            self.cm.tick(w)
+
+    # -- verification -----------------------------------------------------------
+
+    def check_balanced(self) -> None:
+        for u, nbrs in self.out.items():
+            for v in nbrs:
+                if self.outdeg(u) > self.outdeg(v) + 1:
+                    raise AssertionError(
+                        f"violated edge ({u}->{v}): "
+                        f"{self.outdeg(u)} > {self.outdeg(v)} + 1"
+                    )
+        for u, nbrs in self.out.items():
+            for v in nbrs:
+                if u not in self.inn.get(v, set()):
+                    raise AssertionError("out/in adjacency out of sync")

@@ -1,0 +1,82 @@
+"""Recompute-from-scratch comparators.
+
+* :class:`StaticRecompute` — runs exact peeling after **every** batch:
+  perfect answers, Θ(n + m) work per batch regardless of batch size.  The
+  "no dynamic algorithm" strawman every dynamic-algorithms paper measures
+  against.
+* :class:`LazyRebuildCoreness` — rebuilds only when the number of updates
+  since the last rebuild exceeds ``tau * m``: the textbook *amortization*
+  trick.  Mean per-batch work is low but individual batches spike to
+  Θ(n + m) — a second, maximally transparent amortized comparator for
+  experiment E2 (alongside the LDS).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..graphs.graph import DynamicGraph
+from ..instrument.work_depth import CostModel
+from .exact_kcore import core_numbers
+
+
+class StaticRecompute:
+    """Exact coreness, recomputed after every batch."""
+
+    def __init__(self, n: int = 0, cm: Optional[CostModel] = None) -> None:
+        self.graph = DynamicGraph(n)
+        self.cm = cm
+        self.core: dict[int, int] = {}
+
+    def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        self.graph.insert_batch(edges)
+        self._recompute()
+
+    def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        self.graph.delete_batch(edges)
+        self._recompute()
+
+    def _recompute(self) -> None:
+        if self.cm is not None:
+            self.cm.charge(work=self.graph.n + 2 * self.graph.m, depth=self.graph.n + 1)
+        self.core = core_numbers(self.graph)
+
+    def estimate(self, v: int) -> int:
+        return self.core.get(v, 0)
+
+
+class LazyRebuildCoreness:
+    """Exact-at-rebuild coreness with amortized (bursty) update cost."""
+
+    def __init__(self, n: int = 0, tau: float = 0.25, cm: Optional[CostModel] = None) -> None:
+        self.graph = DynamicGraph(n)
+        self.tau = tau
+        self.cm = cm
+        self.core: dict[int, int] = {}
+        self.pending = 0
+        self.rebuilds = 0
+
+    def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        batch = self.graph.insert_batch(edges)
+        self._maybe_rebuild(len(batch))
+
+    def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        batch = self.graph.delete_batch(edges)
+        self._maybe_rebuild(len(batch))
+
+    def _maybe_rebuild(self, batch_size: int) -> None:
+        self.pending += batch_size
+        if self.cm is not None:
+            self.cm.charge(work=batch_size, depth=1)
+        if self.pending > self.tau * max(1, self.graph.m) or not self.core:
+            if self.cm is not None:
+                self.cm.charge(
+                    work=self.graph.n + 2 * self.graph.m, depth=self.graph.n + 1
+                )
+            self.core = core_numbers(self.graph)
+            self.pending = 0
+            self.rebuilds += 1
+
+    def estimate(self, v: int) -> int:
+        """Stale-but-bounded estimate (exact as of the last rebuild)."""
+        return self.core.get(v, 0)

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro generate --family planted --n 60 --m 200 --pattern churn \\
+                   --batch-size 16 --out trace.txt
+    repro run      --trace trace.txt --mode both --eps 0.35
+    repro exact    --trace trace.txt
+
+``generate`` writes a batch-update trace (see repro.graphs.tracefile);
+``run`` replays it through the batch-dynamic structures and reports the
+maintained estimates plus work/depth metrics; ``exact`` replays it into a
+plain graph and reports the exact measures for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines import core_numbers, exact_density, greedy_peeling_density
+from .config import Constants
+from .core import CorenessDecomposition, DensityEstimator
+from .graphs import DynamicGraph, generators, streams
+from .graphs.tracefile import read_trace, validate_trace, write_trace
+from .instrument import BatchTimer, CostModel, render_table
+
+CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def _make_edges(args) -> tuple[int, list]:
+    if args.family == "er":
+        return generators.erdos_renyi(args.n, args.m, seed=args.seed)
+    if args.family == "ba":
+        attach = max(1, args.m // max(1, args.n))
+        return generators.barabasi_albert(args.n, attach, seed=args.seed)
+    if args.family == "planted":
+        block = max(4, args.n // 4)
+        n, edges = generators.planted_dense(
+            args.n, block=block, p_in=0.9, out_edges=args.m // 2, seed=args.seed
+        )
+        return n, edges
+    raise SystemExit(f"unknown family {args.family!r}")
+
+
+def cmd_generate(args) -> int:
+    if args.pattern == "churn":
+        # churn synthesizes its own edges; no base family needed
+        ops = streams.churn(args.n, steps=args.steps, batch_size=args.batch_size, seed=args.seed)
+    else:
+        _n, edges = _make_edges(args)
+        if args.pattern == "insert-only":
+            ops = streams.insert_only(edges, args.batch_size)
+        elif args.pattern == "window":
+            ops = streams.sliding_window(edges, window=4, batch_size=args.batch_size)
+        elif args.pattern == "insert-delete":
+            ops = streams.insert_then_delete(edges, args.batch_size, seed=args.seed)
+        else:
+            raise SystemExit(f"unknown pattern {args.pattern!r}")
+    validate_trace(ops)
+    count = write_trace(ops, args.out)
+    print(f"wrote {count} batches ({sum(op.size for op in ops)} edge updates) to {args.out}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    ops = read_trace(args.trace)
+    n = max(validate_trace(ops), 2)
+    cm = CostModel()
+    timer = BatchTimer(cm)
+    structures = []
+    if args.mode in ("coreness", "both"):
+        structures.append(
+            ("coreness", CorenessDecomposition(n, eps=args.eps, cm=cm, constants=CONSTANTS))
+        )
+    if args.mode in ("density", "both"):
+        structures.append(
+            ("density", DensityEstimator(n, eps=args.eps, cm=cm, constants=CONSTANTS))
+        )
+    if not structures:
+        raise SystemExit(f"unknown mode {args.mode!r}")
+
+    for op in ops:
+        with timer.batch(op.kind, op.size):
+            for _name, st in structures:
+                if op.kind == "insert":
+                    st.insert_batch(op.edges)
+                else:
+                    st.delete_batch(op.edges)
+
+    series = timer.series
+    rows = [
+        ("batches", len(series.records)),
+        ("edge updates", series.total_edges()),
+        ("mean work/edge", f"{series.mean_work_per_edge():.0f}"),
+        ("p99 work/edge", f"{series.percentile_work_per_edge(99):.0f}"),
+        ("max batch depth", series.max_depth()),
+    ]
+    for name, st in structures:
+        if name == "coreness":
+            ests = st.estimates()
+            top = sorted(ests.items(), key=lambda kv: -kv[1])[: args.top]
+            rows.append(("max core_alg", f"{st.max_estimate():.1f}"))
+            rows.append(
+                ("top vertices", " ".join(f"{v}:{e:.0f}" for v, e in top))
+            )
+        else:
+            rows.append(("rho_alg", f"{st.density_estimate():.2f}"))
+            rows.append(("lambda_alg", f"{st.arboricity_estimate():.2f}"))
+            rows.append(("orientation max d+", st.max_outdegree()))
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_exact(args) -> int:
+    ops = read_trace(args.trace)
+    validate_trace(ops)
+    g = DynamicGraph(0)
+    streams.replay(ops, g)
+    cores = core_numbers(g)
+    rows = [
+        ("vertices touched", len(g.touched_vertices())),
+        ("live edges", g.m),
+        ("max coreness", max(cores.values(), default=0)),
+    ]
+    if g.m <= 3000:
+        rows.append(("exact rho", f"{exact_density(g):.3f}"))
+    else:
+        rows.append(("greedy rho (1/2-approx)", f"{greedy_peeling_density(g)[0]:.3f}"))
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .core.verify import replay_audit
+
+    ops = read_trace(args.trace)
+    validate_trace(ops)
+    report = replay_audit(
+        ops, H=args.height, constants=CONSTANTS, deep_every=args.deep_every
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write a batch-update trace file")
+    g.add_argument("--family", default="er", choices=["er", "ba", "planted"])
+    g.add_argument("--n", type=int, default=60)
+    g.add_argument("--m", type=int, default=200)
+    g.add_argument("--steps", type=int, default=40)
+    g.add_argument("--batch-size", type=int, default=16)
+    g.add_argument(
+        "--pattern",
+        default="insert-only",
+        choices=["insert-only", "window", "churn", "insert-delete"],
+    )
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True)
+    g.set_defaults(func=cmd_generate)
+
+    r = sub.add_parser("run", help="replay a trace through the dynamic structures")
+    r.add_argument("--trace", required=True)
+    r.add_argument("--mode", default="both", choices=["coreness", "density", "both"])
+    r.add_argument("--eps", type=float, default=0.35)
+    r.add_argument("--top", type=int, default=5)
+    r.set_defaults(func=cmd_run)
+
+    e = sub.add_parser("exact", help="exact offline measures of a trace's final graph")
+    e.add_argument("--trace", required=True)
+    e.set_defaults(func=cmd_exact)
+
+    v = sub.add_parser(
+        "verify", help="replay a trace auditing structure invariants per batch"
+    )
+    v.add_argument("--trace", required=True)
+    v.add_argument("--height", type=int, default=5)
+    v.add_argument("--deep-every", type=int, default=0,
+                   help="also audit estimate bands every N batches (slow)")
+    v.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

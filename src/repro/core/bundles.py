@@ -1,0 +1,55 @@
+"""Token-bundle construction (Sections 4.2.2 and 4.3.2).
+
+* :func:`extract_token_bundle` — the ``ExtractTokenBundle`` procedure:
+  every pending inserted edge proposes a token at its lower-out-degree
+  endpoint; each vertex accepts one proposal (CRCW arbitrary write after a
+  lexicographic sort, as in Lemma 4.16); accepted edges leave the pending
+  set oriented from the accepting vertex toward the higher one, which
+  yields exactly the Definition 4.6 conditions (distinct tails,
+  ``d+(tail) <= d+(head)``).
+* :func:`partition_deletion_tokens` — splits per-vertex deletion token
+  counts (each <= H after the free deletions) into at most H bundles of
+  distinct vertices (Definition 4.17), round-robin.
+"""
+
+from __future__ import annotations
+
+from ..pram.primitives import arbitrary_winners
+from ..pram.sorting import parallel_sort
+from .balanced import BalancedOrientation
+
+
+def extract_token_bundle(
+    st: BalancedOrientation, pending: list[tuple[int, int, int]]
+) -> list[tuple[int, int, int]]:
+    """Extract one token bundle from ``pending`` (mutates ``pending``).
+
+    Returns directed bundle arcs ``(tail, head, copy)``.
+    """
+    proposals: list[tuple[int, tuple[int, int, int]]] = []
+    for u, v, c in pending:
+        du, dv = st.outdegree(u), st.outdegree(v)
+        cand = u if (du, u) <= (dv, v) else v
+        proposals.append((cand, (u, v, c)))
+        st.cm.tick()
+    proposals = parallel_sort(proposals, cm=st.cm)
+    winners = arbitrary_winners(proposals, cm=st.cm)
+    bundle: list[tuple[int, int, int]] = []
+    taken: set[tuple[int, int, int]] = set()
+    for cand in sorted(winners):
+        u, v, c = winners[cand]
+        head = v if cand == u else u
+        bundle.append((cand, head, c))
+        taken.add((u, v, c))
+    pending[:] = [e for e in pending if e not in taken]
+    return bundle
+
+
+def partition_deletion_tokens(tokens: dict[int, int]) -> list[list[int]]:
+    """Round-robin the token multiset into bundles of distinct vertices."""
+    if not tokens:
+        return []
+    rounds = max(tokens.values())
+    return [
+        sorted(v for v, count in tokens.items() if count > j) for j in range(rounds)
+    ]

@@ -1,0 +1,20 @@
+"""Level/height helpers shared by the orientation machinery.
+
+In the H-balanced structure (Definition 3.1) the *level* of a vertex is its
+recorded out-degree, and every comparison is made through the truncation
+``min(H, level)``.  Levels are deliberately frozen while a token game runs
+(Sections 4.2/4.3) — the recorded level and the actual out-set size then
+differ by exactly the token count — and are reconciled at settlement.
+"""
+
+from __future__ import annotations
+
+
+def levkey(level: int, H: int) -> int:
+    """The truncated level ``min(H, level)`` used by every in-index bucket."""
+    return level if level < H else H
+
+
+def is_h_balanced_edge(level_tail: int, level_head: int, H: int) -> bool:
+    """Definition 3.1: ``min(H, d+(u)) <= min(H, d+(v)) + 1`` for ``u -> v``."""
+    return levkey(level_tail, H) <= levkey(level_head, H) + 1

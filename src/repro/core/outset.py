@@ -1,0 +1,63 @@
+"""Per-vertex ranked out-edge set (Definition 4.2).
+
+The *rank* of a directed edge ``(u -> v)`` is the 1-indexed position of
+``v`` in the ordered set of ``u``'s out-neighbours; the *truncated rank* is
+``min(H + 1, rank)``.  The order itself is immaterial ("the order of
+storing edges is not important" — Section 4.1); we order by neighbour id,
+which is stable and deterministic.
+
+Backed by the [PP01]-substitute treap so that rank and select are genuine
+O(log n) operations — the deletion game's "incoming edge of rank i" lookups
+and the implicit-coloring forests ``F_{i,j}`` (Corollary 1.5) both rely on
+rank/select.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..pbst.treap import Treap
+
+
+class OutSet:
+    """Ordered out-neighbour set of one vertex."""
+
+    __slots__ = ("_treap",)
+
+    def __init__(self) -> None:
+        self._treap = Treap()
+
+    def __len__(self) -> int:
+        return len(self._treap)
+
+    def __contains__(self, w: int) -> bool:
+        return w in self._treap
+
+    def add(self, w: int) -> None:
+        if not self._treap.insert(w):
+            raise AssertionError(f"out-edge to {w} already present")
+
+    def remove(self, w: int) -> None:
+        if not self._treap.delete(w):
+            raise AssertionError(f"out-edge to {w} absent")
+
+    def rank(self, w: int) -> int:
+        """1-indexed rank of the edge to ``w`` (must be present)."""
+        if w not in self._treap:
+            raise AssertionError(f"out-edge to {w} absent")
+        return self._treap.rank(w) + 1
+
+    def select(self, rank: int) -> int:
+        """Neighbour at 1-indexed ``rank``."""
+        return self._treap.select(rank - 1)
+
+    def first(self, k: int) -> list[int]:
+        """The first ``min(k, len)`` neighbours in rank order."""
+        top = min(k, len(self._treap))
+        return [self._treap.select(i) for i in range(top)]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._treap)
+
+    def check(self) -> None:
+        self._treap.check()

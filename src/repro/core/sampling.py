@@ -1,0 +1,87 @@
+"""Edge sampling and the Appendix A concentration statements.
+
+Theorem 5.1's high-height regime runs ``BALANCED(B)`` on a subgraph where
+every edge is kept independently with probability ``p = B / H``; Appendix A
+(Lemmas A.1–A.4) shows coreness, density and arboricity all scale by ``p``
+up to ``(1 ± eps)`` and an additive ``O(log n / eps)``.  This module
+provides the deterministic-per-edge sampler the dynamic structures need
+(the *same* coin must come up for an edge at insert and delete time) and
+the empirical-verification helpers benchmark E8 uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..config import check_eps
+from ..errors import ParameterError
+from ..graphs.graph import DynamicGraph, Edge, norm_edge
+
+
+class EdgeSampler:
+    """Independent per-edge Bernoulli(p) coins, deterministic per edge.
+
+    The coin for an edge is a hash of (seed, edge), so deletions observe the
+    same decision as insertions without storing per-edge state — this is the
+    moral equivalent of the paper's "BST of the set of edges, along with the
+    label denoting whether it is sampled", in O(1) per query.
+    """
+
+    def __init__(self, p: float, seed: int = 0) -> None:
+        if not (0.0 <= p <= 1.0):
+            raise ParameterError(f"sampling probability must be in [0,1], got {p}")
+        self.p = p
+        self.seed = seed
+
+    def keeps(self, u: int, v: int) -> bool:
+        if self.p >= 1.0:
+            return True
+        if self.p <= 0.0:
+            return False
+        a, b = norm_edge(u, v)
+        digest = hashlib.blake2b(
+            f"{self.seed}:{a}:{b}".encode(), digest_size=8
+        ).digest()
+        value = int.from_bytes(digest, "big") / float(1 << 64)
+        return value < self.p
+
+    def filter(self, edges: Iterable[tuple[int, int]]) -> list[Edge]:
+        return [norm_edge(u, v) for u, v in edges if self.keeps(u, v)]
+
+
+def sample_graph(g: DynamicGraph, p: float, seed: int = 0) -> DynamicGraph:
+    """The sampled graph ``G_p`` of Appendix A."""
+    sampler = EdgeSampler(p, seed)
+    out = DynamicGraph(g.n)
+    out.insert_batch(sampler.filter(g.edges))
+    out.n = g.n
+    return out
+
+
+@dataclass(frozen=True)
+class ConcentrationBand:
+    """The Appendix A band ``[(1-eps) p x - slack, (1+eps) p x + slack]``."""
+
+    lower: float
+    upper: float
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def expected_band(measure: float, p: float, eps: float, n: int, c: float = 2.0) -> ConcentrationBand:
+    """Band predicted by Lemmas A.1–A.4 for a sampled measure.
+
+    ``c`` scales the additive ``O(log n / eps)`` slack (the lemmas hide a
+    constant; the default matches what the experiments observe).
+    """
+    import math
+
+    check_eps(eps)
+    slack = c * math.log2(max(n, 2)) / eps
+    return ConcentrationBand(
+        lower=(1 - eps) * p * measure - slack,
+        upper=(1 + eps) * p * measure + slack,
+    )

@@ -1,0 +1,76 @@
+"""Checkpointing for the balanced-orientation structure.
+
+A production dynamic service needs to survive restarts without replaying
+the whole update history.  A snapshot captures the *logical* state of
+``BALANCED(H)`` — the oriented arc set and the recorded levels — and
+``restore`` rebuilds the full indexed structure (out-sets, ranks,
+in-index buckets) from it directly, bypassing the token games.  Restoring
+is O(m H log n), the cost of filing every arc once.
+
+JSON helpers are included so checkpoints can live in files; tests verify
+the roundtrip is exact (same orientation, same levels, invariants green,
+and updates continue correctly afterwards).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..config import DEFAULT_CONSTANTS, Constants
+from ..errors import InvariantViolation
+from ..instrument.work_depth import CostModel
+from .balanced import BalancedOrientation
+
+
+def snapshot(st: BalancedOrientation) -> dict[str, Any]:
+    """Capture the logical state (arcs + levels + H)."""
+    return {
+        "H": st.H,
+        "arcs": sorted(st.arcs()),
+        "levels": {v: lvl for v, lvl in sorted(st.level.items()) if lvl or v in st.out},
+    }
+
+
+def restore(
+    snap: dict[str, Any],
+    cm: Optional[CostModel] = None,
+    constants: Constants = DEFAULT_CONSTANTS,
+) -> BalancedOrientation:
+    """Rebuild a structure from a snapshot and verify its invariants."""
+    st = BalancedOrientation(int(snap["H"]), cm=cm, constants=constants)
+    # Pre-seeding the recorded levels makes every _arc_add file its
+    # in-index entry under the final level bucket immediately.
+    st.level = {int(v): int(lvl) for v, lvl in dict(snap["levels"]).items()}
+    for tail, head, copy in snap["arcs"]:
+        st._arc_add(int(tail), int(head), int(copy))
+    try:
+        st.check_invariants()
+    except InvariantViolation as exc:
+        raise InvariantViolation(f"snapshot is not a valid state: {exc}") from exc
+    return st
+
+
+def to_json(st: BalancedOrientation) -> str:
+    snap = snapshot(st)
+    return json.dumps(
+        {
+            "H": snap["H"],
+            "arcs": [list(a) for a in snap["arcs"]],
+            "levels": {str(v): lvl for v, lvl in snap["levels"].items()},
+        }
+    )
+
+
+def from_json(
+    payload: str,
+    cm: Optional[CostModel] = None,
+    constants: Constants = DEFAULT_CONSTANTS,
+) -> BalancedOrientation:
+    raw = json.loads(payload)
+    snap = {
+        "H": raw["H"],
+        "arcs": [tuple(a) for a in raw["arcs"]],
+        "levels": {int(v): lvl for v, lvl in raw["levels"].items()},
+    }
+    return restore(snap, cm=cm, constants=constants)

@@ -1,0 +1,120 @@
+"""Introspection: human-readable statistics of the dynamic structures.
+
+Operators of a long-running service want to see, without stopping it,
+how big the structures are, how levels are distributed, and how much
+work the recent batches cost.  Everything here is read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .balanced import BalancedOrientation
+from .coreness import CorenessDecomposition
+from .density import DensityEstimator
+
+
+@dataclass(frozen=True)
+class OrientationStats:
+    H: int
+    vertices: int
+    arcs: int
+    max_outdegree: int
+    mean_outdegree: float
+    level_histogram: dict[int, int]  # truncated level -> count
+    saturated_vertices: int  # level >= H
+    total_work: int
+    total_depth: int
+    counters: dict[str, int]
+
+    def render(self) -> str:
+        lines = [
+            f"BALANCED(H={self.H}): {self.vertices} vertices, {self.arcs} arcs",
+            f"  out-degree: max {self.max_outdegree}, mean {self.mean_outdegree:.2f}, "
+            f"{self.saturated_vertices} saturated (level >= H)",
+            "  level histogram: "
+            + " ".join(f"{l}:{c}" for l, c in sorted(self.level_histogram.items())),
+            f"  cost so far: work {self.total_work}, depth {self.total_depth}",
+        ]
+        if self.counters:
+            lines.append(
+                "  events: "
+                + " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+            )
+        return "\n".join(lines)
+
+
+def orientation_stats(st: BalancedOrientation) -> OrientationStats:
+    levels = [lvl for lvl in st.level.values()]
+    active = [lvl for v, lvl in st.level.items() if lvl or v in st.out]
+    histogram: dict[int, int] = {}
+    for lvl in active:
+        key = min(lvl, st.H)
+        histogram[key] = histogram.get(key, 0) + 1
+    arcs = st.num_arcs()
+    return OrientationStats(
+        H=st.H,
+        vertices=len(active),
+        arcs=arcs,
+        max_outdegree=st.max_outdegree(),
+        mean_outdegree=(arcs / len(active)) if active else 0.0,
+        level_histogram=histogram,
+        saturated_vertices=sum(1 for lvl in active if lvl >= st.H),
+        total_work=st.cm.work,
+        total_depth=st.cm.depth,
+        counters=dict(st.cm.counters),
+    )
+
+
+@dataclass(frozen=True)
+class LadderStats:
+    rungs: int
+    heights: tuple[int, ...]
+    first_active_rung: Optional[int]
+    total_work: int
+    total_depth: int
+
+    def render(self) -> str:
+        active = (
+            f"first active rung: H={self.heights[self.first_active_rung]}"
+            if self.first_active_rung is not None
+            else "no active rung"
+        )
+        return (
+            f"ladder: {self.rungs} rungs over heights {self.heights[0]}..{self.heights[-1]}; "
+            f"{active}; cost: work {self.total_work}, depth {self.total_depth}"
+        )
+
+
+def coreness_stats(cd: CorenessDecomposition) -> LadderStats:
+    first = None
+    if cd._touched:
+        top = cd.max_estimate()
+        for i, h in enumerate(cd.heights):
+            if h >= top:
+                first = i
+                break
+    return LadderStats(
+        rungs=len(cd.rungs),
+        heights=tuple(cd.heights),
+        first_active_rung=first,
+        total_work=cd.cm.work,
+        total_depth=cd.cm.depth,
+    )
+
+
+def density_stats(de: DensityEstimator) -> LadderStats:
+    from ..errors import InvariantViolation
+
+    try:
+        first = de._first_low()
+    except InvariantViolation:
+        first = None  # stats must not crash on a broken ladder
+    return LadderStats(
+        rungs=len(de.rungs),
+        heights=tuple(de.heights),
+        first_active_rung=first,
+        total_work=de.cm.work,
+        total_depth=de.cm.depth,
+    )

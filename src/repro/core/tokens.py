@@ -1,0 +1,206 @@
+"""The token games (Sections 4.2.1 and 4.3.1).
+
+Friend-module of :class:`~repro.core.balanced.BalancedOrientation`: both
+games mutate the structure through its arc helpers, so every rank/label/
+level re-filing happens in one audited code path.
+
+Token-dropping (insertions)
+---------------------------
+Bundle arcs are added with levels frozen; each tail holds one token (a
+pending out-degree increment).  Per phase, every occupied vertex ``v`` with
+``level(v) < H`` scans its <= H out-arcs for an empty vertex one level
+down, proposes, and each proposed vertex accepts one proposal (CRCW
+arbitrary-write); accepted arcs flip and the tokens drop.  The game halts
+within O(H^3) phases (Lemma 4.8); settlement bumps every resting token's
+vertex level by one.
+
+Token-pushing (deletions)
+-------------------------
+Tokens are pending out-degree *decrements* on distinct vertices (the arcs
+are already gone).  Per phase, edge labels ``2*[tail in S] + [tail
+occupied]`` are written onto out-arcs of rank <= H; then rank rounds
+``i = 1..H`` move tokens up along in-arcs of exact rank ``i`` whose tail
+has label 0 and truncated level exactly one higher, followed by the
+truncated-rank ``H+1`` round whose received tokens are *transparent*
+(absorbed immediately: removing an out-arc beyond rank ``H`` cannot change
+``min(H, d+)``, the paper's dummy-vertex interpretation).  Halts within
+O(H^3) phases (Lemma 4.18); settlement subtracts each vertex's absorbed
+token count from its level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import ConvergenceError
+from ..pram.primitives import arbitrary_winners
+from ..pram.sorting import parallel_sort
+from .balanced import BalancedOrientation
+
+
+def run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -> None:
+    """Insert one token bundle (Definition 4.6) and settle it."""
+    if not bundle:
+        return
+    H = st.H
+    # 1. add bundle arcs; levels stay frozen (Lemma 4.14 step one)
+    with st.cm.parallel() as region:
+        for u, v, c in bundle:
+            with region.branch():
+                st._arc_add(u, v, c)
+                st.last_inserted.append((u, v, c))
+    token: set[int] = {u for u, _v, _c in bundle}
+    if len(token) != len(bundle):
+        raise AssertionError("token bundle tails are not distinct (Def. 4.6)")
+
+    bound = st.constants.phase_safety * (H + 1) ** 3 + 3
+    phases = 0
+    while True:
+        phases += 1
+        if phases > bound:
+            raise ConvergenceError(
+                f"token-dropping exceeded {bound} phases (Lemma 4.8 bound)"
+            )
+        frontier = sorted(v for v in token if st.level.get(v, 0) < H)
+        proposals: list[tuple[int, tuple[int, int]]] = []
+        with st.cm.parallel() as region:
+            for v in frontier:
+                with region.branch():
+                    lv = st.level.get(v, 0)
+                    outset = st.out.get(v)
+                    if outset is None:
+                        continue
+                    for head, copy in outset:  # <= H arcs while v is occupied
+                        st.cm.tick()
+                        if head not in token and st.level.get(head, 0) == lv - 1:
+                            proposals.append((head, (v, copy)))
+                            break
+        if not proposals:
+            break
+        proposals = parallel_sort(proposals, cm=st.cm)
+        winners = arbitrary_winners(proposals, cm=st.cm)
+        with st.cm.parallel() as region:
+            for w in sorted(winners):
+                v, copy = winners[w]
+                with region.branch():
+                    st._flip(v, w, copy)  # the token drops from v to w
+                    token.discard(v)
+                    token.add(w)
+        st.cm.count("drop_phases")
+
+    # settlement (Lemma 4.14 closing step): resting tokens become +1 level
+    with st.cm.parallel() as region:
+        for v in sorted(token):
+            with region.branch():
+                st._set_level(v, st.level.get(v, 0) + 1)
+    st.cm.count("drop_games")
+
+
+def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
+    """Settle one deletion token bundle (Definition 4.17)."""
+    H = st.H
+    token: set[int] = set(bundle)
+    if not token:
+        return
+    pending_dec: dict[int, int] = {v: 1 for v in token}
+    labeled: set[int] = set()
+
+    bound = st.constants.phase_safety * (H + 1) ** 3 + 3
+    phases = 0
+    while True:
+        phases += 1
+        if phases > bound:
+            raise ConvergenceError(
+                f"token-pushing exceeded {bound} phases (Lemma 4.18 bound)"
+            )
+        S = {v for v in token if st.level.get(v, 0) < H}
+        # phase-start labels: 2*[in S] + [occupied] on every occupied vertex
+        stale = sorted(labeled - token)
+        with st.cm.parallel() as region:
+            for u in stale:
+                with region.branch():
+                    st._apply_vertex_label(u, 0)
+            for u in sorted(token):
+                with region.branch():
+                    st._apply_vertex_label(u, 2 * (u in S) + 1)
+        labeled = set(token)
+        moved = False
+
+        for i in range(1, H + 1):  # rank rounds
+            sends: list[tuple[int, tuple[int, int]]] = []
+            with st.cm.parallel() as region:
+                for v in sorted(S):
+                    if v not in token:
+                        continue  # already sent its token this phase
+                    with region.branch():
+                        st._charge_lookup()
+                        index = st.inx.get(v)
+                        if index is None:
+                            continue
+                        lv = st.level.get(v, 0)
+                        wkey = index.any_at(i, 0, lv + 1)
+                        if wkey is not None:
+                            sends.append((v, wkey))
+            for v, (w, copy) in sends:
+                st._flip(w, v, copy)  # arc (w -> v) becomes (v -> w)
+                token.discard(v)
+                pending_dec[v] = pending_dec.get(v, 0) - 1
+                pending_dec[w] = pending_dec.get(w, 0) + 1
+                st._apply_vertex_label(v, 2)  # still in frozen S, token gone
+                # Transparency is decided by the *receiver's* residual
+                # out-degree, not by which arc carried the token: while w
+                # still has >= H live out-arcs, its settlement decrement
+                # keeps min(H, d+(w)) = H — invisible to the truncated
+                # invariant, so the token is absorbed and w stays open
+                # (this is the same budget the paper's tr = H+1 rule
+                # enforces; see DESIGN.md "deviation D1").  The strict flag
+                # reverts to the paper's literal rule for ablation E15.
+                if st.constants.strict_paper_transparency or len(st.out.get(w, ())) < H:
+                    token.add(w)
+                    st._apply_vertex_label(w, 1)  # w not in S, now occupied
+                    labeled.add(w)
+                moved = True
+
+        # truncated-rank H+1 round: transparent tokens
+        sends = []
+        with st.cm.parallel() as region:
+            for v in sorted(S):
+                if v not in token or st.level.get(v, 0) != H - 1:
+                    continue
+                with region.branch():
+                    st._charge_lookup()
+                    index = st.inx.get(v)
+                    if index is None:
+                        continue
+                    wkey = index.any_truncated(H + 1, H)
+                    if wkey is not None:
+                        sends.append((v, wkey))
+        for v, (w, copy) in sends:
+            st._flip(w, v, copy)
+            token.discard(v)
+            pending_dec[v] = pending_dec.get(v, 0) - 1
+            pending_dec[w] = pending_dec.get(w, 0) + 1  # absorbed, not occupied
+            st._apply_vertex_label(v, 2)
+            moved = True
+
+        st.cm.count("push_phases")
+        if not moved:
+            break
+
+    # clear all labels (end of Lemma 4.23's phase simulation)
+    with st.cm.parallel() as region:
+        for u in sorted(labeled):
+            with region.branch():
+                st._apply_vertex_label(u, 0)
+
+    # settlement: every absorbed token is one out-degree decrement
+    with st.cm.parallel() as region:
+        for v in sorted(pending_dec):
+            dec = pending_dec[v]
+            if dec == 0:
+                continue
+            if dec < 0:
+                raise AssertionError("negative pending decrement")
+            with region.branch():
+                st._set_level(v, st.level.get(v, 0) - dec)
+    st.cm.count("push_games")

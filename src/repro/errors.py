@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class InvariantViolation(ReproError):
+    """An internal data-structure invariant was found broken.
+
+    Raised by the ``check_invariants`` methods of the dynamic structures and
+    by internal assertions guarding the token games.  Seeing this exception
+    always indicates a bug (or deliberately injected corruption in the
+    failure-injection tests), never bad user input.
+    """
+
+
+class BatchError(ReproError):
+    """A batch update was malformed (duplicate edges, self-loops, unknown
+    edges in a deletion batch, endpoints out of range, ...)."""
+
+
+class ParameterError(ReproError):
+    """An algorithm parameter is out of its documented domain (for example
+    ``eps`` outside ``(0, 1)`` or a non-positive height ``H``)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative routine exceeded its proven round bound.
+
+    The token games and bundle-extraction loops of the paper carry proven
+    worst-case round bounds (Lemmas 4.8, 4.15, 4.18).  The implementations
+    run with a generous safety factor over those bounds; exhausting it means
+    the implementation no longer matches the analysis.
+    """
+
+
+class CapacityError(ReproError):
+    """A density/arboricity hint was exceeded where the algorithm requires it
+    as a hard promise (e.g. ``rho_max`` in the matching/coloring corollaries).
+    """

@@ -1,0 +1,15 @@
+"""Dynamic graphs, synthetic generators, and batch-update streams."""
+
+from .graph import DynamicGraph, Edge, norm_edge, normalize_batch
+from . import generators, streams
+from .streams import BatchOp
+
+__all__ = [
+    "BatchOp",
+    "DynamicGraph",
+    "Edge",
+    "generators",
+    "norm_edge",
+    "normalize_batch",
+    "streams",
+]

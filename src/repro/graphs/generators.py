@@ -1,0 +1,199 @@
+"""Synthetic graph generators.
+
+The paper has no dataset section (theory paper); these generators stand in
+for the dynamic-graph traces an empirical evaluation would use (DESIGN.md
+§2 item 4).  Families are chosen to exercise distinct regimes of the
+algorithms:
+
+* ``erdos_renyi`` — homogeneous density, coreness ≈ average degree.
+* ``barabasi_albert`` — skewed degrees but low arboricity (≈ attachment m):
+  the regime where small-H structures shine.
+* ``rmat`` — heavy-tailed, community-ish; the canonical graph-mining bench.
+* ``planted_dense`` — a known dense block inside a sparse sea: drives the
+  ladder's crossover and gives known ground-truth ρ lower bounds.
+* ``clique/star/path/cycle/grid/forest/complete_bipartite`` — extremal
+  structures for unit tests and worst cases.
+
+All functions return ``(n, edges)`` with canonical (min, max) edges, no
+duplicates, no self-loops, reproducible under the given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from ..errors import ParameterError
+from .graph import Edge, norm_edge
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def erdos_renyi(n: int, m: int, seed: int | random.Random = 0) -> tuple[int, list[Edge]]:
+    """G(n, m): ``m`` distinct uniform edges."""
+    rng = _rng(seed)
+    max_m = n * (n - 1) // 2
+    if m > max_m:
+        raise ParameterError(f"m={m} exceeds max {max_m} for n={n}")
+    edges: set[Edge] = set()
+    while len(edges) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            edges.add(norm_edge(u, v))
+    return n, sorted(edges)
+
+
+def barabasi_albert(n: int, m_attach: int, seed: int | random.Random = 0) -> tuple[int, list[Edge]]:
+    """Preferential attachment: each new vertex attaches to ``m_attach``
+    distinct existing vertices sampled proportionally to degree."""
+    rng = _rng(seed)
+    if m_attach < 1 or n <= m_attach:
+        raise ParameterError(f"need 1 <= m_attach < n, got m_attach={m_attach}, n={n}")
+    edges: set[Edge] = set()
+    # Repeated-vertex list implements degree-proportional sampling.
+    targets = list(range(m_attach))
+    repeated: list[int] = list(range(m_attach))
+    for v in range(m_attach, n):
+        chosen: set[int] = set()
+        for t in targets:
+            chosen.add(t)
+        for t in chosen:
+            edges.add(norm_edge(v, t))
+            repeated.extend((v, t))
+        # next targets: m_attach distinct degree-proportional picks
+        nxt: set[int] = set()
+        while len(nxt) < m_attach:
+            nxt.add(rng.choice(repeated))
+        targets = list(nxt)
+    return n, sorted(edges)
+
+
+def rmat(
+    scale: int,
+    m: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | random.Random = 0,
+) -> tuple[int, list[Edge]]:
+    """RMAT/Kronecker-style generator over ``n = 2**scale`` vertices."""
+    rng = _rng(seed)
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ParameterError("a + b + c must be <= 1")
+    n = 1 << scale
+    edges: set[Edge] = set()
+    attempts = 0
+    while len(edges) < m and attempts < 50 * m + 100:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u != v:
+            edges.add(norm_edge(u, v))
+    return n, sorted(edges)
+
+
+def planted_dense(
+    n: int,
+    block: int,
+    p_in: float = 0.8,
+    out_edges: int = 0,
+    seed: int | random.Random = 0,
+) -> tuple[int, list[Edge]]:
+    """A dense block on vertices ``0..block-1`` (+ optional sparse sea).
+
+    Ground truth: the block alone has expected density ≈ ``p_in*(block-1)/2``,
+    giving a known lower bound for ρ(G) used by the density experiments.
+    """
+    rng = _rng(seed)
+    if block > n:
+        raise ParameterError(f"block={block} exceeds n={n}")
+    edges: set[Edge] = set()
+    for u in range(block):
+        for v in range(u + 1, block):
+            if rng.random() < p_in:
+                edges.add((u, v))
+    while out_edges > 0:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        e = norm_edge(u, v)
+        if e in edges or (u < block and v < block):
+            continue
+        edges.add(e)
+        out_edges -= 1
+    return n, sorted(edges)
+
+
+def clique(k: int, offset: int = 0) -> tuple[int, list[Edge]]:
+    """K_k on vertices ``offset .. offset+k-1``."""
+    edges = [(offset + u, offset + v) for u in range(k) for v in range(u + 1, k)]
+    return offset + k, edges
+
+
+def star(leaves: int, center: int = 0) -> tuple[int, list[Edge]]:
+    edges = [norm_edge(center, center + 1 + i) for i in range(leaves)]
+    return center + leaves + 1, edges
+
+
+def path(n: int) -> tuple[int, list[Edge]]:
+    return n, [(i, i + 1) for i in range(n - 1)]
+
+
+def cycle(n: int) -> tuple[int, list[Edge]]:
+    if n < 3:
+        raise ParameterError("cycle needs n >= 3")
+    return n, [(i, i + 1) for i in range(n - 1)] + [(0, n - 1)]
+
+
+def grid(rows: int, cols: int) -> tuple[int, list[Edge]]:
+    """rows x cols grid graph — arboricity 2, coreness ≤ 2."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return rows * cols, edges
+
+
+def complete_bipartite(a: int, b: int) -> tuple[int, list[Edge]]:
+    edges = [(u, a + v) for u in range(a) for v in range(b)]
+    return a + b, edges
+
+
+def random_forest(n: int, trees: int = 1, seed: int | random.Random = 0) -> tuple[int, list[Edge]]:
+    """A uniform-ish random forest — arboricity exactly 1 (if any edge)."""
+    rng = _rng(seed)
+    if trees < 1 or trees > n:
+        raise ParameterError("need 1 <= trees <= n")
+    roots = set(rng.sample(range(n), trees))
+    order = list(range(n))
+    rng.shuffle(order)
+    attached: list[int] = [v for v in order if v in roots]
+    edges: list[Edge] = []
+    for v in order:
+        if v in roots:
+            continue
+        parent = rng.choice(attached)
+        edges.append(norm_edge(v, parent))
+        attached.append(v)
+    return n, sorted(edges)

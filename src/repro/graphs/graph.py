@@ -1,0 +1,135 @@
+"""Dynamic undirected simple graph with validated batch updates.
+
+This is the *ground-truth* graph the dynamic structures are maintained
+against: the structures receive the same batches, and tests compare their
+answers to exact algorithms run on this graph.  Batches are validated the
+way the batch-dynamic model assumes them (no self-loops, no duplicates
+within a batch, inserts absent, deletes present) and violations raise
+:class:`~repro.errors.BatchError`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import BatchError
+
+Edge = tuple[int, int]
+
+
+def norm_edge(u: int, v: int) -> Edge:
+    """Canonical (min, max) form of an undirected edge."""
+    if u == v:
+        raise BatchError(f"self-loop ({u}, {v}) not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+def normalize_batch(edges: Iterable[tuple[int, int]]) -> list[Edge]:
+    """Canonicalize a batch and reject duplicates/self-loops."""
+    out: list[Edge] = []
+    seen: set[Edge] = set()
+    for u, v in edges:
+        e = norm_edge(u, v)
+        if e in seen:
+            raise BatchError(f"duplicate edge {e} within batch")
+        seen.add(e)
+        out.append(e)
+    return out
+
+
+class DynamicGraph:
+    """Adjacency-set graph over integer vertex ids with batch updates."""
+
+    def __init__(self, n: int = 0, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n < 0:
+            raise BatchError(f"n must be non-negative, got {n}")
+        self.n = n
+        self.adj: dict[int, set[int]] = {}
+        self.edges: set[Edge] = set()
+        initial = normalize_batch(edges)
+        if initial:
+            self.insert_batch(initial)
+
+    # -- batch updates ----------------------------------------------------------
+
+    def insert_batch(self, edges: Iterable[tuple[int, int]]) -> list[Edge]:
+        """Insert a batch of edges; returns the canonicalized batch."""
+        batch = normalize_batch(edges)
+        for e in batch:
+            if e in self.edges:
+                raise BatchError(f"edge {e} already present")
+        for u, v in batch:
+            self.edges.add((u, v))
+            self.adj.setdefault(u, set()).add(v)
+            self.adj.setdefault(v, set()).add(u)
+            self.n = max(self.n, u + 1, v + 1)
+        return batch
+
+    def delete_batch(self, edges: Iterable[tuple[int, int]]) -> list[Edge]:
+        """Delete a batch of edges; returns the canonicalized batch."""
+        batch = normalize_batch(edges)
+        for e in batch:
+            if e not in self.edges:
+                raise BatchError(f"edge {e} not present")
+        for u, v in batch:
+            self.edges.remove((u, v))
+            self.adj[u].discard(v)
+            self.adj[v].discard(u)
+        return batch
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        return len(self.edges)
+
+    def degree(self, v: int) -> int:
+        return len(self.adj.get(v, ()))
+
+    def neighbors(self, v: int) -> set[int]:
+        return self.adj.get(v, set())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return norm_edge(u, v) in self.edges
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def touched_vertices(self) -> set[int]:
+        """Vertices with at least one incident edge ever inserted."""
+        return {v for v, nbrs in self.adj.items() if nbrs}
+
+    def copy(self) -> "DynamicGraph":
+        g = DynamicGraph(self.n)
+        g.edges = set(self.edges)
+        g.adj = {v: set(nbrs) for v, nbrs in self.adj.items()}
+        return g
+
+    def subgraph(self, vertices: Iterable[int]) -> "DynamicGraph":
+        """Induced subgraph (vertex ids preserved)."""
+        keep = set(vertices)
+        g = DynamicGraph(self.n)
+        g.insert_batch(
+            (u, v) for (u, v) in self.edges if u in keep and v in keep
+        )
+        g.n = self.n
+        return g
+
+    def to_networkx(self):
+        """Export to networkx (test/validation helper)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges)
+        return g
+
+    # -- derived measures (exact, small-scale; see repro.baselines for fast) ------
+
+    def density_of(self, vertices: Iterable[int]) -> float:
+        """``|E[S]| / |S|`` of the induced subgraph."""
+        keep = set(vertices)
+        if not keep:
+            raise BatchError("density of empty vertex set undefined")
+        m = sum(1 for (u, v) in self.edges if u in keep and v in keep)
+        return m / len(keep)

@@ -1,0 +1,82 @@
+"""On-disk batch-update traces.
+
+A trace is a plain text file, one batch per line::
+
+    # comments and blank lines are ignored
+    I 0 1 0 2 1 2     <- insert batch {(0,1), (0,2), (1,2)}
+    D 0 1             <- delete batch {(0,1)}
+
+The format is deliberately trivial: it round-trips through
+:func:`write_trace`/:func:`read_trace`, diffs cleanly, and any external
+tool (or the CLI's ``generate`` subcommand) can produce it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Sequence
+
+from ..errors import BatchError
+from .graph import norm_edge
+from .streams import BatchOp
+
+
+def write_trace(ops: Iterable[BatchOp], path: str | pathlib.Path) -> int:
+    """Write a stream to a trace file; returns the number of batches."""
+    lines = []
+    for op in ops:
+        letter = "I" if op.kind == "insert" else "D"
+        flat = " ".join(f"{u} {v}" for u, v in op.edges)
+        lines.append(f"{letter} {flat}")
+    pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def read_trace(path: str | pathlib.Path) -> list[BatchOp]:
+    """Parse a trace file into a list of batch operations."""
+    ops: list[BatchOp] = []
+    for lineno, raw in enumerate(pathlib.Path(path).read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind_letter, numbers = parts[0].upper(), parts[1:]
+        if kind_letter not in ("I", "D"):
+            raise BatchError(f"{path}:{lineno}: unknown batch kind {parts[0]!r}")
+        if len(numbers) % 2 != 0 or not numbers:
+            raise BatchError(f"{path}:{lineno}: odd number of endpoints")
+        try:
+            values = [int(x) for x in numbers]
+        except ValueError as exc:
+            raise BatchError(f"{path}:{lineno}: non-integer endpoint") from exc
+        edges = tuple(
+            norm_edge(values[i], values[i + 1]) for i in range(0, len(values), 2)
+        )
+        ops.append(BatchOp("insert" if kind_letter == "I" else "delete", edges))
+    return ops
+
+
+def validate_trace(ops: Sequence[BatchOp]) -> int:
+    """Check a stream is replayable (inserts absent, deletes present).
+
+    Returns the number of vertices mentioned.  Raises BatchError on the
+    first inconsistent batch.
+    """
+    live: set = set()
+    top = 0
+    for i, op in enumerate(ops):
+        seen_in_batch = set()
+        for e in op.edges:
+            if e in seen_in_batch:
+                raise BatchError(f"batch {i}: duplicate edge {e}")
+            seen_in_batch.add(e)
+            top = max(top, e[1] + 1)
+            if op.kind == "insert":
+                if e in live:
+                    raise BatchError(f"batch {i}: inserting live edge {e}")
+                live.add(e)
+            else:
+                if e not in live:
+                    raise BatchError(f"batch {i}: deleting absent edge {e}")
+                live.remove(e)
+    return top

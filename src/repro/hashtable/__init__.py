@@ -1,0 +1,5 @@
+"""Batch-parallel hash tables (the [GMV91] substitute)."""
+
+from .batch_table import BatchHashTable, log_star
+
+__all__ = ["BatchHashTable", "log_star"]

@@ -1,0 +1,21 @@
+"""Instrumentation: work/depth cost model, Brent projections, metrics."""
+
+from .brent import BrentPoint, parallelism, project, saturation_processors
+from .metrics import BatchRecord, BatchTimer, Series, render_series, render_table
+from .work_depth import CostModel, NullCostModel, ParallelRegion, Snapshot
+
+__all__ = [
+    "BatchRecord",
+    "BatchTimer",
+    "BrentPoint",
+    "CostModel",
+    "NullCostModel",
+    "ParallelRegion",
+    "Series",
+    "Snapshot",
+    "parallelism",
+    "project",
+    "render_series",
+    "render_table",
+    "saturation_processors",
+]

@@ -1,0 +1,74 @@
+"""Brent's-principle runtime projections.
+
+Brent's principle [Bre74] bounds the ``p``-processor runtime of an algorithm
+with work ``W`` and depth ``D`` by::
+
+    max(W / p, D)  <=  T_p  <=  W / p + D
+
+The paper's headline claim — a batch of ``b`` updates processed in
+``~O(b / p)`` time — is exactly this bound instantiated with
+``W = b * polylog(n)`` and ``D = polylog(n)``.  On a single-core Python box
+(see DESIGN.md §2 item 1) we cannot demonstrate real shared-memory speedup,
+so benchmark E9 reports these projections computed from the *measured* work
+and depth of each structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class BrentPoint:
+    """Projected runtime/speedup for one processor count."""
+
+    processors: int
+    time_lower: float  # max(W/p, D)
+    time_upper: float  # W/p + D
+    speedup_lower: float  # W / time_upper
+    speedup_upper: float  # W / time_lower
+
+
+def project(work: int, depth: int, processors: Sequence[int]) -> list[BrentPoint]:
+    """Brent projections of (work, depth) onto each processor count.
+
+    ``speedup`` is relative to the 1-processor time, which equals ``work``.
+    """
+    if work < 0 or depth < 0:
+        raise ValueError("work/depth must be non-negative")
+    if depth > work:
+        # A depth chain is itself work; measured structures never violate
+        # this, but guard against caller mistakes.
+        raise ValueError(f"depth ({depth}) cannot exceed work ({work})")
+    points = []
+    for p in processors:
+        if p < 1:
+            raise ValueError(f"processor count must be >= 1, got {p}")
+        lo = max(work / p, float(depth))
+        hi = work / p + depth
+        points.append(
+            BrentPoint(
+                processors=p,
+                time_lower=lo,
+                time_upper=hi,
+                speedup_lower=(work / hi) if hi > 0 else 1.0,
+                speedup_upper=(work / lo) if lo > 0 else 1.0,
+            )
+        )
+    return points
+
+
+def parallelism(work: int, depth: int) -> float:
+    """``W / D`` — the asymptotic speedup ceiling of the computation."""
+    return work / depth if depth > 0 else float(work if work else 1)
+
+
+def saturation_processors(work: int, depth: int) -> int:
+    """Processor count beyond which depth dominates (no further speedup).
+
+    This is ``ceil(W / D)``: the point where ``W/p`` drops below ``D``.
+    """
+    if depth <= 0:
+        return 1
+    return max(1, -(-work // depth))

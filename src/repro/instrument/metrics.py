@@ -1,0 +1,144 @@
+"""Per-batch metric records and plain-text report rendering.
+
+The benchmark harness accumulates one :class:`BatchRecord` per processed
+batch and summarises whole runs with :class:`Series`.  Rendering helpers
+produce the fixed-width tables written into EXPERIMENTS.md — no plotting
+dependencies, every "figure" is an ASCII table/series.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .work_depth import CostModel
+
+
+@dataclass
+class BatchRecord:
+    """Metrics for one processed batch."""
+
+    kind: str  # "insert" | "delete" | "mixed" | label chosen by the bench
+    batch_size: int
+    work: int
+    depth: int
+    wall_seconds: float
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def work_per_edge(self) -> float:
+        return self.work / self.batch_size if self.batch_size else float(self.work)
+
+
+@dataclass
+class Series:
+    """A sequence of batch records plus summary statistics."""
+
+    records: list[BatchRecord] = field(default_factory=list)
+
+    def add(self, record: BatchRecord) -> None:
+        self.records.append(record)
+
+    # -- summaries ----------------------------------------------------------
+
+    def total_work(self) -> int:
+        return sum(r.work for r in self.records)
+
+    def total_edges(self) -> int:
+        return sum(r.batch_size for r in self.records)
+
+    def max_work_per_edge(self) -> float:
+        return max((r.work_per_edge for r in self.records), default=0.0)
+
+    def mean_work_per_edge(self) -> float:
+        edges = self.total_edges()
+        return self.total_work() / edges if edges else 0.0
+
+    def max_depth(self) -> int:
+        return max((r.depth for r in self.records), default=0)
+
+    def mean_depth(self) -> float:
+        return sum(r.depth for r in self.records) / len(self.records) if self.records else 0.0
+
+    def percentile_work_per_edge(self, q: float) -> float:
+        """Inclusive linear-interpolation percentile, q in [0, 100]."""
+        vals = sorted(r.work_per_edge for r in self.records)
+        if not vals:
+            return 0.0
+        if len(vals) == 1:
+            return vals[0]
+        pos = (q / 100.0) * (len(vals) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(vals) - 1)
+        frac = pos - lo
+        return vals[lo] * (1 - frac) + vals[hi] * frac
+
+
+class BatchTimer:
+    """Measures (work, depth, wall) deltas of a cost model around batches."""
+
+    def __init__(self, cm: CostModel) -> None:
+        self.cm = cm
+        self.series = Series()
+
+    @contextmanager
+    def batch(self, kind: str, size: int) -> Iterator[None]:
+        before = self.cm.snapshot()
+        counters_before = dict(self.cm.counters)
+        t0 = time.perf_counter()
+        yield
+        wall = time.perf_counter() - t0
+        after = self.cm.snapshot()
+        delta_counters = {
+            k: v - counters_before.get(k, 0)
+            for k, v in self.cm.counters.items()
+            if v != counters_before.get(k, 0)
+        }
+        self.series.add(
+            BatchRecord(
+                kind=kind,
+                batch_size=size,
+                work=after.work - before.work,
+                depth=after.depth - before.depth,
+                wall_seconds=wall,
+                counters=delta_counters,
+            )
+        )
+
+
+# -- plain-text rendering ----------------------------------------------------
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width table (github-markdown-flavoured)."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    def line(parts: Sequence[str]) -> str:
+        return "| " + " | ".join(p.ljust(w) for p, w in zip(parts, widths)) + " |"
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_series(xs: Sequence[float], ys: Sequence[float], x_label: str, y_label: str) -> str:
+    """Render an (x, y) series as a two-column table — our 'figure' format."""
+    return render_table([x_label, y_label], list(zip(xs, ys)))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

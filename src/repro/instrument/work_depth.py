@@ -1,0 +1,216 @@
+"""Work/depth cost accounting — the simulated CRCW PRAM.
+
+The paper analyses its algorithms in the work-depth model [Ble96]: *work* is
+the total number of primitive operations, *depth* is the longest chain of
+sequentially dependent operations.  This module provides a :class:`CostModel`
+that every algorithm in the library threads its operations through, so that
+each batch update reports exactly the two quantities the paper's theorems
+bound.
+
+The accounting rules (see DESIGN.md §6):
+
+* ``tick(w)`` — ``w`` sequential primitive operations: adds ``w`` to both
+  work and depth.
+* ``charge(work=w, depth=d)`` — an analytic charge for a sub-structure whose
+  bounds are known (e.g. a batch BST operation at O(log n) work per element
+  and O(log n) depth, matching [PP01]).
+* ``parallel()`` — a parallel region.  Branches opened inside it contribute
+  the *sum* of their work but only the *maximum* of their depths, exactly
+  like a PRAM ``pardo``.
+
+Regions nest arbitrarily, so a loop of phases (depth adds) each performing a
+parallel sweep over vertices (depth maxes) is expressed naturally::
+
+    for phase in range(num_phases):          # sequential phases
+        with cm.parallel() as region:        # one phase
+            for v in frontier:
+                with region.branch():
+                    cm.tick()                # per-vertex constant work
+
+Every structure also bumps named :attr:`counters` (phases, flips, proposals,
+bundle rounds, ...) which the benchmarks report against the paper's lemma
+bounds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+@dataclass
+class Snapshot:
+    """An immutable (work, depth) point; subtract two to get a delta."""
+
+    work: int
+    depth: int
+
+    def __sub__(self, other: "Snapshot") -> "Snapshot":
+        return Snapshot(self.work - other.work, self.depth - other.depth)
+
+
+class _Frame:
+    """One accounting frame: a plain sequential context."""
+
+    __slots__ = ("work", "depth")
+
+    def __init__(self) -> None:
+        self.work = 0
+        self.depth = 0
+
+
+class _ParallelFrame:
+    """Accumulates branches: work sums, depth maxes."""
+
+    __slots__ = ("work_sum", "depth_max")
+
+    def __init__(self) -> None:
+        self.work_sum = 0
+        self.depth_max = 0
+
+
+class CostModel:
+    """Work/depth accumulator with nested parallel regions.
+
+    The model is deliberately tiny and allocation-light: the token games call
+    :meth:`tick` millions of times in the larger benchmarks.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[_Frame] = [_Frame()]
+        self.counters: dict[str, int] = {}
+
+    # -- primitive charges -------------------------------------------------
+
+    def tick(self, w: int = 1) -> None:
+        """``w`` sequential primitive operations."""
+        top = self._stack[-1]
+        top.work += w
+        top.depth += w
+
+    def charge(self, work: int = 0, depth: int = 0) -> None:
+        """An analytic charge: ``work`` units of work, ``depth`` of depth.
+
+        Used when a sub-structure's cost is charged at the granularity the
+        paper charges it (e.g. Lemma 4.3: reversing ``k`` edges costs
+        ``O(k H log n)`` work and ``O(H log n)`` depth).
+        """
+        top = self._stack[-1]
+        top.work += work
+        top.depth += depth
+
+    def count(self, name: str, inc: int = 1) -> None:
+        """Bump a named event counter (phases, flips, proposals, ...)."""
+        self.counters[name] = self.counters.get(name, 0) + inc
+
+    # -- parallel structure ------------------------------------------------
+
+    @contextmanager
+    def parallel(self) -> Iterator["ParallelRegion"]:
+        """Open a parallel region; close it to fold branches into the parent.
+
+        Work of the region = sum of branch works; depth = max of branch
+        depths.  Ticks issued directly inside the region (outside any
+        branch) are treated as sequential region overhead.
+        """
+        region = ParallelRegion(self)
+        overhead = _Frame()
+        self._stack.append(overhead)
+        try:
+            yield region
+        finally:
+            self._stack.pop()
+            parent = self._stack[-1]
+            parent.work += overhead.work + region._pf.work_sum
+            parent.depth += overhead.depth + region._pf.depth_max
+
+    def pfor(self, items: Iterable[T], fn: Callable[[T], U]) -> list[U]:
+        """Apply ``fn`` to every item as parallel branches; return results.
+
+        Semantically a PRAM ``parallel for``: work is the sum over items,
+        depth the max.  Execution is sequential (see DESIGN.md §2, item 1).
+        """
+        out: list[U] = []
+        with self.parallel() as region:
+            for item in items:
+                with region.branch():
+                    out.append(fn(item))
+        return out
+
+    # -- reading results ---------------------------------------------------
+
+    @property
+    def work(self) -> int:
+        return self._stack[0].work
+
+    @property
+    def depth(self) -> int:
+        return self._stack[0].depth
+
+    def snapshot(self) -> Snapshot:
+        """Current totals at the *root* frame.
+
+        Only meaningful between operations (i.e. when no parallel region is
+        open); the structures take snapshots at batch boundaries.
+        """
+        if len(self._stack) != 1:
+            raise RuntimeError("snapshot() inside an open parallel region")
+        return Snapshot(self.work, self.depth)
+
+    @contextmanager
+    def measure(self) -> Iterator[Snapshot]:
+        """Yield a Snapshot that is filled with the delta on exit."""
+        before = self.snapshot()
+        delta = Snapshot(0, 0)
+        yield delta
+        after = self.snapshot()
+        diff = after - before
+        delta.work = diff.work
+        delta.depth = diff.depth
+
+    def reset(self) -> None:
+        self._stack = [_Frame()]
+        self.counters = {}
+
+
+class ParallelRegion:
+    """Handle yielded by :meth:`CostModel.parallel`."""
+
+    __slots__ = ("_cm", "_pf")
+
+    def __init__(self, cm: CostModel) -> None:
+        self._cm = cm
+        self._pf = _ParallelFrame()
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        """One parallel branch; its work sums, its depth maxes."""
+        frame = _Frame()
+        self._cm._stack.append(frame)
+        try:
+            yield
+        finally:
+            self._cm._stack.pop()
+            self._pf.work_sum += frame.work
+            self._pf.depth_max = max(self._pf.depth_max, frame.depth)
+
+
+class NullCostModel(CostModel):
+    """A cost model that ignores everything — for pure wall-clock runs.
+
+    Keeps the exact same API so algorithms need no branches; ``pfor`` still
+    executes the function.
+    """
+
+    def tick(self, w: int = 1) -> None:  # noqa: D102
+        pass
+
+    def charge(self, work: int = 0, depth: int = 0) -> None:  # noqa: D102
+        pass
+
+    def count(self, name: str, inc: int = 1) -> None:  # noqa: D102
+        pass

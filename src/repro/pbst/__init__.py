@@ -1,0 +1,6 @@
+"""Batch-parallel ordered sets (the [PP01] red-black tree substitute)."""
+
+from .batch_set import BatchOrderedSet
+from .treap import Treap
+
+__all__ = ["BatchOrderedSet", "Treap"]

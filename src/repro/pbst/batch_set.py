@@ -1,0 +1,112 @@
+"""Batch ordered set — the [PP01] parallel red-black tree substitute.
+
+Presents the batch interface the paper's Section 2.2 relies on: batch
+insertion and batch deletion at ``O(log n)`` *charged* work per element and
+``O(log n)`` *charged* depth per batch, plus rank/select/membership queries
+at ``O(log n)`` work and depth each.  Cost charges flow through an optional
+:class:`~repro.instrument.work_depth.CostModel`; the sequential engine is
+the treap in :mod:`repro.pbst.treap`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator, Optional
+
+from ..instrument.work_depth import CostModel
+from .treap import Treap
+
+
+def _log2ceil(n: int) -> int:
+    """``ceil(log2(n))`` clamped to at least 1 — the unit BST charge."""
+    return max(1, int(math.ceil(math.log2(max(n, 2)))))
+
+
+class BatchOrderedSet:
+    """An ordered set with batch updates and PRAM-style cost accounting."""
+
+    __slots__ = ("_treap", "_cm")
+
+    def __init__(self, cm: Optional[CostModel] = None, items: Iterable[Any] = ()) -> None:
+        self._treap = Treap()
+        self._cm = cm
+        initial = list(items)
+        if initial:
+            self.batch_insert(initial)
+
+    # -- batch operations (one [PP01] round each) -----------------------------
+
+    def batch_insert(self, keys: Iterable[Any]) -> int:
+        """Insert a batch; returns the number of keys actually added.
+
+        Charged ``O(log n)`` work per element and ``O(log n)`` depth for the
+        whole batch, matching [PP01] in CRCW PRAM.
+        """
+        keys = list(keys)
+        added = 0
+        for key in keys:
+            if self._treap.insert(key):
+                added += 1
+        self._charge_batch(len(keys))
+        return added
+
+    def batch_delete(self, keys: Iterable[Any]) -> int:
+        """Delete a batch; returns the number of keys actually removed."""
+        keys = list(keys)
+        removed = 0
+        for key in keys:
+            if self._treap.delete(key):
+                removed += 1
+        self._charge_batch(len(keys))
+        return removed
+
+    def _charge_batch(self, k: int) -> None:
+        if self._cm is not None and k:
+            unit = _log2ceil(len(self._treap) + k)
+            self._cm.charge(work=k * unit, depth=unit)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __contains__(self, key: Any) -> bool:
+        self._charge_query()
+        return key in self._treap
+
+    def rank(self, key: Any) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        self._charge_query()
+        return self._treap.rank(key)
+
+    def select(self, index: int) -> Any:
+        """The ``index``-th smallest stored key (0-based)."""
+        self._charge_query()
+        return self._treap.select(index)
+
+    def min(self) -> Any:
+        self._charge_query()
+        return self._treap.min()
+
+    def max(self) -> Any:
+        self._charge_query()
+        return self._treap.max()
+
+    def _charge_query(self) -> None:
+        if self._cm is not None:
+            unit = _log2ceil(len(self._treap))
+            self._cm.charge(work=unit, depth=unit)
+
+    # -- free traversal (used by tests/verification, not charged) --------------
+
+    def __len__(self) -> int:
+        return len(self._treap)
+
+    def __bool__(self) -> bool:
+        return bool(self._treap)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._treap)
+
+    def to_list(self) -> list[Any]:
+        return list(self._treap)
+
+    def check(self) -> None:
+        self._treap.check()

@@ -1,0 +1,226 @@
+"""A size-augmented treap: the sequential engine under the batch BST.
+
+The paper maintains every ordered set in the parallel red-black tree of
+Park & Park [PP01], which supports batch insert/delete at ``O(log n)`` work
+per element and ``O(log n)`` depth.  Our substitute (DESIGN.md §2 item 2)
+keeps identical *set semantics* and identical *charged costs*; underneath it
+is a classic join-based treap with deterministic hash-derived priorities so
+runs are reproducible without threading RNG state everywhere.
+
+Supported in ``O(log n)`` real time each: insert, delete, membership, rank
+(number of keys strictly below), select (k-th smallest), min/max, and
+in-order iteration in ``O(n)``.  These are exactly the operations the
+orientation structure of Section 4.1 needs (edge *ranks* — Definition 4.2 —
+are treap ranks; the deletion game's "edge with rank i" lookups are treap
+selects).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+def _priority(key: Any) -> int:
+    """Deterministic pseudo-random priority (splitmix64 over ``hash(key)``)."""
+    z = (hash(key) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+class _Node:
+    __slots__ = ("key", "prio", "size", "left", "right")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.prio = _priority(key)
+        self.size = 1
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _pull(node: _Node) -> _Node:
+    node.size = 1 + _size(node.left) + _size(node.right)
+    return node
+
+
+def _split(node: Optional[_Node], key: Any) -> tuple[Optional[_Node], Optional[_Node]]:
+    """Split into (< key, >= key)."""
+    if node is None:
+        return None, None
+    if node.key < key:
+        lo, hi = _split(node.right, key)
+        node.right = lo
+        return _pull(node), hi
+    lo, hi = _split(node.left, key)
+    node.left = hi
+    return lo, _pull(node)
+
+
+def _join(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    """Join assuming every key in ``left`` < every key in ``right``."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.prio > right.prio:
+        left.right = _join(left.right, right)
+        return _pull(left)
+    right.left = _join(left, right.left)
+    return _pull(right)
+
+
+class Treap:
+    """An ordered set of mutually comparable keys."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def insert(self, key: Any) -> bool:
+        """Insert ``key``; returns False if it was already present."""
+        if key in self:
+            return False
+        lo, hi = _split(self._root, key)
+        self._root = _join(_join(lo, _Node(key)), hi)
+        return True
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns False if it was absent."""
+        lo, rest = _split(self._root, key)
+        mid, hi = _split_first(rest, key)
+        self._root = _join(lo, hi)
+        return mid is not None
+
+    def rank(self, key: Any) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        node, r = self._root, 0
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                r += 1 + _size(node.left)
+                node = node.right
+            else:
+                return r + _size(node.left)
+        return r
+
+    def select(self, index: int) -> Any:
+        """The ``index``-th smallest key (0-based)."""
+        if not (0 <= index < len(self)):
+            raise IndexError(f"select({index}) on treap of size {len(self)}")
+        node = self._root
+        while node is not None:
+            ls = _size(node.left)
+            if index < ls:
+                node = node.left
+            elif index == ls:
+                return node.key
+            else:
+                index -= ls + 1
+                node = node.right
+        raise AssertionError("unreachable: size bookkeeping broken")
+
+    def min(self) -> Any:
+        if self._root is None:
+            raise KeyError("min() of empty treap")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key
+
+    def max(self) -> Any:
+        if self._root is None:
+            raise KeyError("max() of empty treap")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key
+
+    def __iter__(self) -> Iterator[Any]:
+        # Explicit stack: recursion would overflow on adversarial priorities.
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key
+            node = node.right
+
+    # -- verification --------------------------------------------------------
+
+    def check(self) -> None:
+        """Verify heap order, key order, and size augmentation (for tests)."""
+        def rec(node: Optional[_Node]) -> tuple[int, Any, Any]:
+            if node is None:
+                return 0, None, None
+            ln, lmin, lmax = rec(node.left)
+            rn, rmin, rmax = rec(node.right)
+            if node.left is not None and (node.left.prio > node.prio or lmax >= node.key):
+                raise AssertionError("treap order violated (left)")
+            if node.right is not None and (node.right.prio > node.prio or rmin <= node.key):
+                raise AssertionError("treap order violated (right)")
+            if node.size != ln + rn + 1:
+                raise AssertionError("treap size augmentation broken")
+            return (
+                node.size,
+                lmin if lmin is not None else node.key,
+                rmax if rmax is not None else node.key,
+            )
+
+        rec(self._root)
+
+
+def _split_first(node: Optional[_Node], key: Any) -> tuple[Optional[_Node], Optional[_Node]]:
+    """Split ``node`` (all keys >= key) into (the key node or None, > key)."""
+    if node is None:
+        return None, None
+    # node holds keys >= key; peel the == key element if present.
+    lo, hi = _split(node, _JustAbove(key))
+    # lo holds keys < just-above(key), i.e. == key (at most one).
+    return lo, hi
+
+
+class _JustAbove:
+    """Sentinel comparing as strictly greater than ``key`` and less than
+    everything above it — lets ``_split`` isolate an exact key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __lt__(self, other: Any) -> bool:  # self < other  <=>  key < other
+        return self.key < other
+
+    def __gt__(self, other: Any) -> bool:
+        return not (self.key < other)  # self > other <=> other <= key
+
+
+# ``_split`` compares ``node.key < key`` (node under sentinel iff
+# node.key < JustAbove(k) iff node.key <= k) — _JustAbove supports the
+# reflected ``<`` via __gt__ above.

@@ -1,0 +1,28 @@
+"""Simulated-PRAM primitives, sorting, and execution backends."""
+
+from .connectivity import connected_components
+from .executor import ProcessExecutor, SerialExecutor
+from .primitives import (
+    arbitrary_winners,
+    pack,
+    parallel_map,
+    reduce_max,
+    reduce_sum,
+    scan,
+    semisort,
+)
+from .sorting import parallel_sort
+
+__all__ = [
+    "ProcessExecutor",
+    "SerialExecutor",
+    "arbitrary_winners",
+    "connected_components",
+    "pack",
+    "parallel_map",
+    "parallel_sort",
+    "reduce_max",
+    "reduce_sum",
+    "scan",
+    "semisort",
+]

@@ -1,0 +1,28 @@
+"""Parallel sorting facade.
+
+Section 2.2: the batch BST of [PP01] yields an ``O(n log n)``-work,
+``O(log n)``-depth deterministic parallel sort in CRCW PRAM.  We charge that
+and sort with timsort underneath.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional, Sequence, TypeVar
+
+from ..instrument.work_depth import CostModel
+
+T = TypeVar("T")
+
+
+def parallel_sort(
+    items: Sequence[T],
+    key: Optional[Callable[[T], Any]] = None,
+    cm: Optional[CostModel] = None,
+) -> list[T]:
+    """Sort ``items``; charged O(n log n) work, O(log n) depth."""
+    n = len(items)
+    if cm is not None and n:
+        unit = max(1, int(math.ceil(math.log2(max(n, 2)))))
+        cm.charge(work=n * unit, depth=unit)
+    return sorted(items, key=key)

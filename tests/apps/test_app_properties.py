@@ -1,0 +1,99 @@
+"""Property-based tests for the application layer under random schedules."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import ExplicitColoring, MaximalMatching
+from repro.config import Constants
+from repro.graphs.graph import norm_edge
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+@st.composite
+def app_schedules(draw):
+    """Valid insert/delete schedules over a small vertex universe."""
+    n = draw(st.integers(6, 18))
+    steps = draw(st.integers(1, 6))
+    live: set = set()
+    schedule = []
+    for _ in range(steps):
+        if draw(st.booleans()) or not live:
+            size = draw(st.integers(1, 6))
+            fresh = set()
+            for _ in range(size * 3):
+                u = draw(st.integers(0, n - 1))
+                v = draw(st.integers(0, n - 1))
+                if u != v:
+                    e = norm_edge(u, v)
+                    if e not in live and e not in fresh:
+                        fresh.add(e)
+                if len(fresh) >= size:
+                    break
+            if fresh:
+                live |= fresh
+                schedule.append(("insert", tuple(sorted(fresh))))
+        else:
+            pool = sorted(live)
+            k = draw(st.integers(1, len(pool)))
+            idx = draw(st.permutations(range(len(pool))))
+            victims = tuple(pool[i] for i in idx[:k])
+            live -= set(victims)
+            schedule.append(("delete", victims))
+    return n, schedule
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(app_schedules())
+def test_matching_maximal_through_any_schedule(schedule):
+    n, ops = schedule
+    mm = MaximalMatching(6, n, eps=0.4, constants=SMALL, seed=1)
+    for kind, edges in ops:
+        if kind == "insert":
+            mm.insert_batch(edges)
+        else:
+            mm.delete_batch(edges)
+        mm.check_matching()
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(app_schedules())
+def test_coloring_proper_through_any_schedule(schedule):
+    n, ops = schedule
+    ec = ExplicitColoring(6, n, eps=0.4, constants=SMALL, seed=2)
+    live: set = set()
+    for kind, edges in ops:
+        if kind == "insert":
+            ec.insert_batch(edges)
+            live |= set(edges)
+        else:
+            ec.delete_batch(edges)
+            live -= set(edges)
+        ec.check_proper(live)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_matching_is_subset_of_edges_always(seed):
+    from repro.graphs import streams
+
+    mm = MaximalMatching(5, 16, eps=0.4, constants=SMALL, seed=seed % 7)
+    live: set = set()
+    for op in streams.churn(16, steps=10, batch_size=4, seed=seed):
+        if op.kind == "insert":
+            mm.insert_batch(op.edges)
+            live |= set(op.edges)
+        else:
+            mm.delete_batch(op.edges)
+            live -= set(op.edges)
+        assert mm.matching() <= live

@@ -1,0 +1,103 @@
+"""Tests for Cole–Vishkin pseudoforest coloring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import cv_six_coloring, cv_three_coloring, local_cv_color
+from repro.apps.cole_vishkin import _cv_step, check_proper
+
+
+def random_pseudoforest(n, seed, root_prob=0.1):
+    rng = random.Random(seed)
+    return {
+        v: (rng.randrange(v) if v > 0 and rng.random() > root_prob else None)
+        for v in range(n)
+    }
+
+
+class TestCvStep:
+    def test_produces_small_colors(self):
+        assert _cv_step(0b1010, 0b1000) == 2 * 1 + 1
+        assert _cv_step(5, 4) == 1  # lowest differing bit 0, bit value 1
+
+    def test_requires_distinct(self):
+        with pytest.raises(ValueError):
+            _cv_step(3, 3)
+
+    def test_preserves_properness(self):
+        # if colors differ, the new colors of an adjacent pair differ too
+        for a in range(16):
+            for b in range(16):
+                if a != b:
+                    # child a with parent b, parent b with grandparent g:
+                    # different i or different bit => differ; verified by
+                    # the global tests; here check basic domain
+                    assert 0 <= _cv_step(a, b) < 8
+
+
+class TestSixColoring:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper_and_small(self, seed):
+        succ = random_pseudoforest(150, seed)
+        colors = cv_six_coloring(range(150), succ)
+        check_proper(range(150), succ, colors)
+        assert max(colors.values()) <= 5
+
+    def test_long_path(self):
+        n = 500
+        succ = {v: v - 1 if v else None for v in range(n)}
+        colors = cv_six_coloring(range(n), succ)
+        check_proper(range(n), succ, colors)
+
+    def test_star_pseudoforest(self):
+        succ = {v: 0 for v in range(1, 50)}
+        succ[0] = None
+        colors = cv_six_coloring(range(50), succ)
+        check_proper(range(50), succ, colors)
+
+
+class TestThreeColoring:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper_and_three(self, seed):
+        succ = random_pseudoforest(150, seed + 10)
+        colors = cv_three_coloring(range(150), succ)
+        check_proper(range(150), succ, colors)
+        assert max(colors.values()) <= 2
+
+    def test_single_vertex(self):
+        assert cv_three_coloring([0], {0: None})[0] in (0, 1, 2)
+
+
+class TestLocalColoring:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_local_matches_properness(self, seed):
+        n = 120
+        succ = random_pseudoforest(n, seed + 20)
+        colors = {v: local_cv_color(v, lambda x: succ.get(x), n) for v in range(n)}
+        check_proper(range(n), succ, colors)
+        assert max(colors.values()) <= 5
+
+    def test_local_is_deterministic(self):
+        succ = random_pseudoforest(60, 7)
+        a = local_cv_color(10, lambda x: succ.get(x), 60)
+        b = local_cv_color(10, lambda x: succ.get(x), 60)
+        assert a == b
+
+    def test_long_chain_locality(self):
+        # a 10k path: each query only walks O(log* n) hops, so this is fast
+        n = 10_000
+        succ_fn = lambda v: v - 1 if v else None
+        colors = [local_cv_color(v, succ_fn, n) for v in range(0, n, 997)]
+        assert all(0 <= c <= 5 for c in colors)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_hypothesis_local_proper_on_random_forests(seed):
+    n = 40
+    succ = random_pseudoforest(n, seed)
+    colors = {v: local_cv_color(v, lambda x: succ.get(x), n) for v in range(n)}
+    check_proper(range(n), succ, colors)

@@ -1,0 +1,101 @@
+"""Tests for the explicit (Cor 1.4) and implicit (Cor 1.5) colorings."""
+
+import pytest
+
+from repro.apps import ExplicitColoring, ImplicitColoring
+from repro.config import Constants
+from repro.graphs import generators as gen, streams
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+class TestExplicitColoring:
+    def make(self, rho_max=5, n=32, seed=0):
+        return ExplicitColoring(
+            rho_max, n, eps=0.4, palette_factor=8.0, constants=SMALL, seed=seed
+        )
+
+    def test_proper_after_inserts(self):
+        ec = self.make()
+        n, edges = gen.erdos_renyi(25, 70, seed=1)
+        ec.insert_batch(edges)
+        ec.check_proper(edges)
+
+    def test_proper_under_churn(self):
+        ec = self.make(rho_max=6, n=24)
+        live = set()
+        for op in streams.churn(24, steps=24, batch_size=6, seed=2):
+            if op.kind == "insert":
+                ec.insert_batch(op.edges)
+                live |= set(op.edges)
+            else:
+                ec.delete_batch(op.edges)
+                live -= set(op.edges)
+            ec.check_proper(live)
+
+    def test_palette_is_fixed(self):
+        ec = self.make()
+        p1 = ec.palette(5)
+        ec.insert_batch([(5, 6)])
+        assert ec.palette(5) == p1
+
+    def test_palettes_lazy(self):
+        ec = self.make()
+        assert ec._palettes == {}
+        ec.insert_batch([(0, 1)])
+        assert set(ec._palettes) <= {0, 1}
+
+    def test_color_count_bounded(self):
+        ec = self.make(rho_max=4, n=30)
+        n, edges = gen.grid(5, 6)
+        ec.insert_batch(edges)
+        used = {ec.color_of(v) for v in range(n)}
+        assert len(used) <= ec.C + ec.fallbacks
+
+    def test_isolated_vertex_colorable(self):
+        ec = self.make()
+        assert ec.color_of(31) >= 1
+
+
+class TestImplicitColoring:
+    def make(self, n=24, seed=0):
+        return ImplicitColoring(n, eps=0.4, constants=SMALL, seed=seed)
+
+    def test_proper_after_inserts(self):
+        ic = self.make()
+        n, edges = gen.erdos_renyi(24, 60, seed=3)
+        ic.insert_batch(edges)
+        ic.check_proper(edges)
+
+    def test_query_subset_consistent_with_full(self):
+        ic = self.make()
+        n, edges = gen.grid(4, 5)
+        ic.insert_batch(edges)
+        sub = ic.query([0, 1, 2])
+        full = ic.query(list(range(20)))
+        assert all(sub[v] == full[v] for v in sub)
+
+    def test_proper_after_deletions(self):
+        ic = self.make()
+        n, edges = gen.erdos_renyi(24, 60, seed=4)
+        ic.insert_batch(edges)
+        ic.delete_batch(edges[:30])
+        ic.check_proper(edges[30:])
+
+    def test_empty_query(self):
+        ic = self.make()
+        assert ic.query([]) == {}
+
+    def test_palette_bound_reported(self):
+        ic = self.make()
+        ic.insert_batch([(0, 1)])
+        assert ic.palette_bound() >= 9.0
+
+    def test_colors_within_reasonable_palette(self):
+        ic = self.make()
+        n, edges = gen.cycle(12)
+        ic.insert_batch(edges)
+        colors = ic.query(list(range(12)))
+        # cycle: rho ~ 1, two pseudoforests, Linial lands in a small palette
+        assert max(colors.values()) < 10_000

@@ -1,0 +1,98 @@
+"""Tests for Linial's polynomial palette reduction."""
+
+import random
+
+import pytest
+
+from repro.apps import linial_parameters, linial_step, reduce_coloring
+from repro.errors import ParameterError
+
+
+def random_oriented_graph(n, d, seed):
+    """Random orientation with out-degree <= d."""
+    rng = random.Random(seed)
+    out = {}
+    for v in range(n):
+        k = rng.randint(0, d)
+        choices = [w for w in range(n) if w != v]
+        out[v] = rng.sample(choices, min(k, len(choices)))
+    return out
+
+
+def greedy_proper_coloring(out, k):
+    """A proper coloring w.r.t. the symmetric closure, < k colors."""
+    adj = {v: set() for v in out}
+    for v, ws in out.items():
+        for w in ws:
+            adj[v].add(w)
+            adj[w].add(v)
+    colors = {}
+    for v in sorted(adj):
+        used = {colors[w] for w in adj[v] if w in colors}
+        colors[v] = next(c for c in range(k) if c not in used)
+    return colors
+
+
+def assert_proper(colors, out):
+    for v, ws in out.items():
+        for w in ws:
+            assert colors[v] != colors[w], f"edge ({v},{w}) monochromatic"
+
+
+class TestParameters:
+    def test_field_large_enough(self):
+        q, D = linial_parameters(k=1000, d=3)
+        assert q ** (D + 1) >= 1000
+        assert q > 3 * max(D, 1)
+
+    def test_small_inputs(self):
+        q, D = linial_parameters(k=2, d=0)
+        assert q >= 2
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            linial_parameters(0, 1)
+
+
+class TestStep:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reduces_and_stays_proper(self, seed):
+        out = random_oriented_graph(40, 3, seed)
+        k = 6 ** 4  # a big palette, like the combined CV colors
+        colors = greedy_proper_coloring(out, 20)
+        # embed into the large palette injectively-ish (still proper)
+        colors = {v: c * 7 + (v % 7) for v, c in colors.items()}
+        colors = {v: c % k for v, c in colors.items()}
+        # ensure properness after embedding
+        out_proper = all(
+            colors[v] != colors[w] for v, ws in out.items() for w in ws
+        )
+        if not out_proper:
+            colors = greedy_proper_coloring(out, 20)
+        new, new_k = linial_step(colors, out, k, 3)
+        assert_proper(new, out)
+        assert max(new.values()) < new_k
+        assert new_k < k
+
+    def test_empty_graph(self):
+        new, new_k = linial_step({}, {}, 10, 1)
+        assert new == {}
+
+
+class TestReduceColoring:
+    def test_two_rounds_reach_poly_d(self):
+        out = random_oriented_graph(60, 3, 5)
+        base = greedy_proper_coloring(out, 30)
+        k = 6 ** 5
+        base = {v: c for v, c in base.items()}
+        reduced, k_final = reduce_coloring(base, out, k, 3, rounds=2)
+        assert_proper(reduced, out)
+        assert k_final < k
+        assert k_final <= 2000  # poly(d), far below 6^5 ~ 7776
+
+    def test_stops_when_no_progress(self):
+        out = {0: [1], 1: []}
+        colors = {0: 0, 1: 1}
+        reduced, k_final = reduce_coloring(colors, out, 2, 1, rounds=5)
+        assert_proper(reduced, out)
+        assert k_final <= 2 * 2 * 10  # never worse than a small constant

@@ -1,0 +1,96 @@
+"""Tests for batch-dynamic maximal matching (Corollary 1.3)."""
+
+import pytest
+
+from repro.apps import MaximalMatching
+from repro.config import Constants
+from repro.errors import CapacityError
+from repro.graphs import generators as gen, streams
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def make(rho_max=5, n=32, seed=0):
+    return MaximalMatching(rho_max, n, eps=0.4, constants=SMALL, seed=seed)
+
+
+class TestBasics:
+    def test_single_edge_gets_matched(self):
+        mm = make()
+        mm.insert_batch([(0, 1)])
+        assert mm.matching() == {(0, 1)}
+        mm.check_matching()
+
+    def test_triangle_matches_one_edge(self):
+        mm = make()
+        mm.insert_batch([(0, 1), (1, 2), (0, 2)])
+        assert len(mm.matching()) == 1
+        mm.check_matching()
+
+    def test_path_matches_alternately(self):
+        mm = make()
+        n, edges = gen.path(10)
+        mm.insert_batch(edges)
+        mm.check_matching()
+        assert len(mm.matching()) >= 3  # maximal matching of P10 is >= 3
+
+    def test_deleting_matched_edge_rematches(self):
+        mm = make()
+        mm.insert_batch([(0, 1), (1, 2)])
+        matched = next(iter(mm.matching()))
+        mm.delete_batch([matched])
+        mm.check_matching()
+        assert len(mm.matching()) == 1  # the other edge takes over
+
+    def test_deleting_unmatched_edge_keeps_matching(self):
+        mm = make()
+        mm.insert_batch([(0, 1), (1, 2), (2, 3)])
+        mm.check_matching()
+        before = mm.matching()
+        unmatched = [e for e in [(0, 1), (1, 2), (2, 3)] if e not in before]
+        if unmatched:
+            mm.delete_batch([unmatched[0]])
+            mm.check_matching()
+            assert mm.matching() == before
+
+
+class TestStreams:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_churn_keeps_maximality(self, seed):
+        mm = make(rho_max=6, n=30, seed=seed)
+        for op in streams.churn(30, steps=30, batch_size=6, seed=seed):
+            if op.kind == "insert":
+                mm.insert_batch(op.edges)
+            else:
+                mm.delete_batch(op.edges)
+            mm.check_matching()
+
+    def test_sliding_window(self):
+        mm = make(rho_max=6, n=40)
+        n, edges = gen.erdos_renyi(40, 80, seed=4)
+        for op in streams.sliding_window(edges, window=3, batch_size=10):
+            if op.kind == "insert":
+                mm.insert_batch(op.edges)
+            else:
+                mm.delete_batch(op.edges)
+            mm.check_matching()
+
+    def test_insert_then_delete_everything(self):
+        mm = make(rho_max=6, n=20)
+        n, edges = gen.grid(4, 5)
+        for op in streams.insert_then_delete(edges, 8, seed=5):
+            if op.kind == "insert":
+                mm.insert_batch(op.edges)
+            else:
+                mm.delete_batch(op.edges)
+            mm.check_matching()
+        assert mm.matching() == set()
+
+
+class TestPromise:
+    def test_density_promise_violation_detected(self):
+        mm = make(rho_max=1, n=20)
+        n, edges = gen.clique(12)  # rho = 5.5 >> 1
+        with pytest.raises(CapacityError):
+            mm.insert_batch(edges)

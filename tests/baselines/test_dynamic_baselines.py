@@ -1,0 +1,182 @@
+"""Tests for the dynamic comparators: SW, BF, LDS, recompute baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BrodalFagerbergOrientation,
+    LazyRebuildCoreness,
+    LevelDataStructure,
+    SawlaniWangOrientation,
+    StaticRecompute,
+    core_numbers,
+)
+from repro.errors import BatchError, ParameterError
+from repro.graphs import DynamicGraph, generators as gen, streams
+from repro.instrument import CostModel
+
+
+class TestSawlaniWang:
+    def test_stays_balanced_under_inserts(self):
+        n, edges = gen.erdos_renyi(40, 120, seed=1)
+        sw = SawlaniWangOrientation()
+        sw.insert_batch(edges)
+        sw.check_balanced()
+
+    def test_stays_balanced_under_churn(self):
+        sw = SawlaniWangOrientation()
+        for op in streams.churn(25, steps=60, batch_size=4, seed=2):
+            (sw.insert_batch if op.kind == "insert" else sw.delete_batch)(op.edges)
+            sw.check_balanced()
+
+    def test_max_outdegree_near_density(self):
+        # a clique K7 has rho = 3; balanced orientation max outdeg <= ~rho + O(log n)
+        n, edges = gen.clique(7)
+        sw = SawlaniWangOrientation()
+        sw.insert_batch(edges)
+        assert sw.max_outdegree() <= 5
+
+    def test_duplicate_insert_rejected(self):
+        sw = SawlaniWangOrientation()
+        sw.insert(0, 1)
+        with pytest.raises(BatchError):
+            sw.insert(1, 0)
+
+    def test_delete_absent_rejected(self):
+        with pytest.raises(BatchError):
+            SawlaniWangOrientation().delete(0, 1)
+
+    def test_orientation_of(self):
+        sw = SawlaniWangOrientation()
+        sw.insert(3, 4)
+        tail, head = sw.orientation_of(3, 4)
+        assert {tail, head} == {3, 4}
+
+    def test_counts_flips(self):
+        sw = SawlaniWangOrientation(cm=CostModel())
+        n, edges = gen.clique(6)
+        sw.insert_batch(edges)
+        assert sw.cm.work > 0
+
+
+class TestBrodalFagerberg:
+    def test_cap_maintained(self):
+        n, edges = gen.erdos_renyi(40, 100, seed=3)
+        bf = BrodalFagerbergOrientation(cap=8)
+        bf.insert_batch(edges)
+        bf.check_cap()
+
+    def test_deletion_does_nothing(self):
+        bf = BrodalFagerbergOrientation(cap=4)
+        bf.insert(0, 1)
+        bf.delete(0, 1)
+        assert bf.flips_last_update == 0
+        assert not bf.has_edge(0, 1)
+
+    def test_cascades_counted(self):
+        # a star (arboricity 1) under cap 5: inserting every edge oriented
+        # out of the center overflows it and forces flip-all cascades,
+        # while cap >> 5 * arboricity keeps the BF analysis applicable.
+        bf = BrodalFagerbergOrientation(cap=5)
+        total = 0
+        for leaf in range(1, 20):
+            bf.insert(0, leaf)
+            total += bf.flips_last_update
+        bf.check_cap()
+        assert total > 0
+
+    def test_infeasible_cap_detected(self):
+        # cap far below arboricity violates the [BF99] precondition; the
+        # guard must fail loudly instead of spinning forever
+        bf = BrodalFagerbergOrientation(cap=1)
+        n, edges = gen.clique(5)
+        with pytest.raises(RuntimeError):
+            bf.insert_batch(edges)
+
+    def test_bad_cap(self):
+        with pytest.raises(ParameterError):
+            BrodalFagerbergOrientation(cap=0)
+
+
+class TestLevelDataStructure:
+    def test_invariants_hold_after_churn(self):
+        lds = LevelDataStructure(30, delta=0.5)
+        for op in streams.churn(30, steps=40, batch_size=5, seed=4):
+            (lds.insert_batch if op.kind == "insert" else lds.delete_batch)(op.edges)
+        lds.check_invariants()
+
+    def test_estimate_tracks_coreness_loosely(self):
+        n, edges = gen.planted_dense(40, block=10, p_in=1.0, out_edges=20, seed=5)
+        lds = LevelDataStructure(n, delta=0.5)
+        lds.insert_batch(edges)
+        g = DynamicGraph(n, edges)
+        cores = core_numbers(g)
+        dense_est = max(lds.estimate(v) for v in range(10))
+        sparse_est = [lds.estimate(v) for v in range(20, 40) if cores.get(v, 0) <= 1]
+        # the dense block (core 9) must be estimated well above the sea
+        assert dense_est >= 4 * max(sparse_est, default=1.0)
+
+    def test_duplicate_insert_rejected(self):
+        lds = LevelDataStructure(4)
+        lds.insert(0, 1)
+        with pytest.raises(BatchError):
+            lds.insert(0, 1)
+
+    def test_delete_absent_rejected(self):
+        with pytest.raises(BatchError):
+            LevelDataStructure(4).delete(0, 1)
+
+    def test_bad_delta(self):
+        with pytest.raises(ParameterError):
+            LevelDataStructure(4, delta=0.0)
+
+    def test_moves_counted(self):
+        lds = LevelDataStructure(20)
+        n, edges = gen.clique(8)
+        moves = lds.insert_batch(edges)
+        assert moves > 0
+
+
+class TestRecomputeBaselines:
+    def test_static_always_exact(self):
+        sr = StaticRecompute(cm=CostModel())
+        g = DynamicGraph(0)
+        for op in streams.churn(20, steps=20, batch_size=5, seed=6):
+            if op.kind == "insert":
+                sr.insert_batch(op.edges)
+                g.insert_batch(op.edges)
+            else:
+                sr.delete_batch(op.edges)
+                g.delete_batch(op.edges)
+            exact = core_numbers(g)
+            assert all(sr.estimate(v) == exact.get(v, 0) for v in range(g.n))
+
+    def test_static_charges_graph_size_per_batch(self):
+        cm = CostModel()
+        sr = StaticRecompute(cm=cm)
+        n, edges = gen.erdos_renyi(30, 60, seed=7)
+        sr.insert_batch(edges[:30])
+        w1 = cm.work
+        sr.insert_batch(edges[30:31])  # tiny batch, full recompute anyway
+        assert cm.work - w1 > 60  # ~n + 2m regardless of batch size
+
+    def test_lazy_rebuild_is_bursty(self):
+        cm = CostModel()
+        lazy = LazyRebuildCoreness(tau=0.05, cm=cm)
+        n, edges = gen.erdos_renyi(40, 200, seed=8)
+        lazy.insert_batch(edges)  # forces a rebuild
+        works = []
+        for e in edges[:0]:
+            pass
+        # feed tiny deletes; most are cheap, occasionally a rebuild spikes
+        for i, e in enumerate(list(edges)[:40]):
+            before = cm.work
+            lazy.delete_batch([e])
+            works.append(cm.work - before)
+        assert min(works) < max(works)  # bursty: spikes exist
+        assert lazy.rebuilds >= 1
+
+    def test_lazy_estimate_exact_right_after_rebuild(self):
+        lazy = LazyRebuildCoreness(tau=10.0)
+        n, edges = gen.clique(5)
+        lazy.insert_batch(edges)  # first batch always rebuilds
+        assert all(lazy.estimate(v) == 4 for v in range(5))

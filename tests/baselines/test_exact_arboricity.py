@@ -1,0 +1,100 @@
+"""Tests for exact arboricity via matroid partition."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    arboricity,
+    can_partition_into_forests,
+    nash_williams_brute,
+)
+from repro.errors import ParameterError
+from repro.graphs import DynamicGraph, generators as gen
+
+
+def check_forest_partition(g: DynamicGraph, forests):
+    import networkx as nx
+
+    covered = set()
+    for forest_edges in forests:
+        f = nx.Graph()
+        f.add_edges_from(forest_edges)
+        assert nx.is_forest(f)
+        assert not (covered & forest_edges)
+        covered |= forest_edges
+    assert covered == g.edges
+
+
+class TestKnownFamilies:
+    def test_forest_has_arboricity_one(self):
+        n, edges = gen.random_forest(20, trees=2, seed=1)
+        assert arboricity(DynamicGraph(n, edges)) == 1
+
+    def test_cycle(self):
+        n, edges = gen.cycle(7)
+        assert arboricity(DynamicGraph(n, edges)) == 2
+
+    def test_clique(self):
+        # arboricity(K_k) = ceil(k / 2)
+        for k in (3, 4, 5, 6):
+            n, edges = gen.clique(k)
+            assert arboricity(DynamicGraph(n, edges)) == math.ceil(k / 2)
+
+    def test_complete_bipartite(self):
+        # NW: lambda(K_{a,b}) = ceil(ab / (a + b - 1))
+        n, edges = gen.complete_bipartite(3, 4)
+        assert arboricity(DynamicGraph(n, edges)) == math.ceil(12 / 6)
+
+    def test_empty(self):
+        assert arboricity(DynamicGraph(4)) == 0
+
+    def test_grid(self):
+        n, edges = gen.grid(4, 4)
+        assert arboricity(DynamicGraph(n, edges)) == 2
+
+
+class TestPartition:
+    def test_partition_is_valid(self):
+        n, edges = gen.clique(6)
+        g = DynamicGraph(n, edges)
+        forests = can_partition_into_forests(g, 3)
+        assert forests is not None
+        check_forest_partition(g, forests)
+
+    def test_below_arboricity_impossible(self):
+        n, edges = gen.clique(6)
+        assert can_partition_into_forests(DynamicGraph(n, edges), 2) is None
+
+    def test_k_zero(self):
+        assert can_partition_into_forests(DynamicGraph(3), 0) == []
+        n, edges = gen.path(3)
+        assert can_partition_into_forests(DynamicGraph(n, edges), 0) is None
+
+    def test_negative_k(self):
+        with pytest.raises(ParameterError):
+            can_partition_into_forests(DynamicGraph(2), -1)
+
+
+class TestAgainstNashWilliams:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_small_random(self, seed):
+        n, edges = gen.erdos_renyi(9, 16, seed=seed)
+        g = DynamicGraph(n, edges)
+        assert arboricity(g) == nash_williams_brute(g)
+
+    def test_brute_size_guard(self):
+        n, edges = gen.erdos_renyi(20, 30, seed=1)
+        with pytest.raises(ParameterError):
+            nash_williams_brute(DynamicGraph(n, edges))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hypothesis_matches_nash_williams(seed):
+    n, edges = gen.erdos_renyi(8, 12, seed=seed)
+    g = DynamicGraph(n, edges)
+    if g.m:
+        assert arboricity(g) == nash_williams_brute(g)

@@ -1,0 +1,88 @@
+"""Tests for exact (Goldberg) and greedy densest subgraph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import densest_subgraph, exact_density, greedy_peeling_density
+from repro.graphs import DynamicGraph, generators as gen
+
+
+def brute_force_density(g: DynamicGraph) -> float:
+    """Exponential oracle over touched vertices (tiny graphs only)."""
+    from itertools import combinations
+
+    touched = sorted(g.touched_vertices())
+    best = 0.0
+    for k in range(1, len(touched) + 1):
+        for sub in combinations(touched, k):
+            best = max(best, g.density_of(sub))
+    return best
+
+
+class TestKnownFamilies:
+    def test_clique(self):
+        n, edges = gen.clique(6)
+        rho, s = densest_subgraph(DynamicGraph(n, edges))
+        assert rho == pytest.approx(15 / 6)
+        assert len(s) == 6
+
+    def test_path(self):
+        n, edges = gen.path(6)
+        rho, _ = densest_subgraph(DynamicGraph(n, edges))
+        assert rho == pytest.approx(5 / 6)
+
+    def test_empty(self):
+        rho, _ = densest_subgraph(DynamicGraph(4))
+        assert rho == 0.0
+
+    def test_clique_in_sparse_sea(self):
+        n, edges = gen.planted_dense(40, block=8, p_in=1.0, out_edges=15, seed=1)
+        rho, s = densest_subgraph(DynamicGraph(n, edges))
+        assert rho >= 7 / 2  # the K8 block
+        assert set(range(8)) <= s or rho > 7 / 2
+
+    def test_complete_bipartite(self):
+        n, edges = gen.complete_bipartite(3, 3)
+        rho, _ = densest_subgraph(DynamicGraph(n, edges))
+        assert rho == pytest.approx(9 / 6)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_small_random(self, seed):
+        n, edges = gen.erdos_renyi(9, 14 + seed, seed=seed)
+        g = DynamicGraph(n, edges)
+        assert exact_density(g) == pytest.approx(brute_force_density(g), abs=1e-6)
+
+
+class TestGreedy:
+    def test_half_approximation(self):
+        for seed in range(4):
+            n, edges = gen.erdos_renyi(30, 90, seed=seed)
+            g = DynamicGraph(n, edges)
+            rho = exact_density(g)
+            greedy, s = greedy_peeling_density(g)
+            assert greedy >= rho / 2 - 1e-9
+            assert greedy <= rho + 1e-9
+            assert g.density_of(s) == pytest.approx(greedy)
+
+    def test_empty(self):
+        assert greedy_peeling_density(DynamicGraph(3))[0] == 0.0
+
+    def test_clique_exact(self):
+        n, edges = gen.clique(7)
+        greedy, _ = greedy_peeling_density(DynamicGraph(n, edges))
+        assert greedy == pytest.approx(21 / 7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hypothesis_exact_at_least_greedy(seed):
+    n, edges = gen.erdos_renyi(12, 20, seed=seed)
+    g = DynamicGraph(n, edges)
+    rho, s = densest_subgraph(g)
+    greedy, _ = greedy_peeling_density(g)
+    assert rho >= greedy - 1e-9
+    if s:
+        assert g.density_of(s) == pytest.approx(rho)

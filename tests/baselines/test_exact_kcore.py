@@ -1,0 +1,95 @@
+"""Tests for exact coreness oracles (vs. known families and networkx)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import core_numbers, degeneracy, parallel_core_numbers
+from repro.graphs import DynamicGraph, generators as gen
+from repro.instrument import CostModel
+
+
+class TestKnownFamilies:
+    def test_clique(self):
+        n, edges = gen.clique(6)
+        cores = core_numbers(DynamicGraph(n, edges))
+        assert all(cores[v] == 5 for v in range(6))
+
+    def test_path(self):
+        n, edges = gen.path(10)
+        cores = core_numbers(DynamicGraph(n, edges))
+        assert all(cores[v] == 1 for v in range(10))
+
+    def test_cycle(self):
+        n, edges = gen.cycle(8)
+        cores = core_numbers(DynamicGraph(n, edges))
+        assert all(cores[v] == 2 for v in range(8))
+
+    def test_star(self):
+        n, edges = gen.star(7)
+        cores = core_numbers(DynamicGraph(n, edges))
+        assert all(c == 1 for c in cores.values())
+
+    def test_grid(self):
+        n, edges = gen.grid(5, 5)
+        assert degeneracy(DynamicGraph(n, edges)) == 2
+
+    def test_clique_plus_pendant(self):
+        n, edges = gen.clique(5)
+        edges = edges + [(0, 5)]
+        cores = core_numbers(DynamicGraph(6, edges))
+        assert cores[5] == 1
+        assert cores[0] == 4
+
+    def test_empty_graph(self):
+        assert core_numbers(DynamicGraph(3)) == {0: 0, 1: 0, 2: 0}
+        assert degeneracy(DynamicGraph(0)) == 0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        n, edges = gen.erdos_renyi(60, 150 + 20 * seed, seed=seed)
+        g = DynamicGraph(n, edges)
+        ours = core_numbers(g)
+        theirs = nx.core_number(g.to_networkx())
+        assert all(ours[v] == theirs[v] for v in range(n))
+
+    def test_barabasi_albert(self):
+        n, edges = gen.barabasi_albert(80, 3, seed=1)
+        g = DynamicGraph(n, edges)
+        assert core_numbers(g) == dict(nx.core_number(g.to_networkx()))
+
+
+class TestParallelPeeling:
+    def test_matches_sequential(self):
+        n, edges = gen.erdos_renyi(50, 120, seed=2)
+        g = DynamicGraph(n, edges)
+        par, _rounds = parallel_core_numbers(g)
+        assert par == core_numbers(g)
+
+    def test_path_needs_one_round_per_layer_pair(self):
+        n, edges = gen.path(40)
+        g = DynamicGraph(n, edges)
+        _cores, rounds = parallel_core_numbers(g)
+        # peeling a path strips both endpoints per round: ~n/2 rounds —
+        # the depth bottleneck batch-dynamic algorithms avoid
+        assert rounds >= n // 2 - 2
+
+    def test_charges_work(self):
+        cm = CostModel()
+        n, edges = gen.clique(8)
+        parallel_core_numbers(DynamicGraph(n, edges), cm)
+        assert cm.work > 0
+        assert cm.depth > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hypothesis_random_graph_matches_networkx(seed):
+    n, edges = gen.erdos_renyi(25, 60, seed=seed)
+    g = DynamicGraph(n, edges)
+    ours = core_numbers(g)
+    theirs = nx.core_number(g.to_networkx())
+    assert all(ours[v] == theirs[v] for v in range(n))

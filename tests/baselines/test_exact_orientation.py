@@ -1,0 +1,89 @@
+"""Tests for the flow-based exact min-max-out-degree orientation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import exact_density
+from repro.baselines.exact_orientation import (
+    min_max_outdegree,
+    orient_with_cap,
+    verify_orientation,
+)
+from repro.errors import ParameterError
+from repro.graphs import DynamicGraph, generators as gen
+
+
+class TestKnownFamilies:
+    def test_cycle_is_one(self):
+        n, edges = gen.cycle(9)
+        g = DynamicGraph(n, edges)
+        d, orientation = min_max_outdegree(g)
+        assert d == 1
+        verify_orientation(g, orientation, 1)
+
+    def test_forest_is_one(self):
+        n, edges = gen.random_forest(25, trees=2, seed=1)
+        g = DynamicGraph(n, edges)
+        d, orientation = min_max_outdegree(g)
+        assert d == 1
+        verify_orientation(g, orientation, 1)
+
+    def test_clique(self):
+        # K_n: d* = ceil(m / n) = ceil((n-1)/2)
+        for k in (4, 5, 7):
+            n, edges = gen.clique(k)
+            g = DynamicGraph(n, edges)
+            d, orientation = min_max_outdegree(g)
+            assert d == math.ceil((k - 1) / 2)
+            verify_orientation(g, orientation, d)
+
+    def test_empty(self):
+        assert min_max_outdegree(DynamicGraph(5)) == (0, {})
+
+    def test_grid(self):
+        n, edges = gen.grid(4, 4)
+        g = DynamicGraph(n, edges)
+        d, orientation = min_max_outdegree(g)
+        assert d == 2
+        verify_orientation(g, orientation, d)
+
+
+class TestCapFeasibility:
+    def test_cap_below_optimum_infeasible(self):
+        n, edges = gen.clique(7)  # d* = 3
+        g = DynamicGraph(n, edges)
+        assert orient_with_cap(g, 2) is None
+        assert orient_with_cap(g, 3) is not None
+
+    def test_cap_zero(self):
+        g = DynamicGraph(3, [(0, 1)])
+        assert orient_with_cap(g, 0) is None
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ParameterError):
+            orient_with_cap(DynamicGraph(2), -1)
+
+
+class TestHakimiSandwich:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dstar_sandwiches_density(self, seed):
+        n, edges = gen.erdos_renyi(18, 40 + 5 * seed, seed=seed)
+        g = DynamicGraph(n, edges)
+        d, orientation = min_max_outdegree(g)
+        rho = exact_density(g)
+        assert rho <= d <= rho + 1 + 1e-9  # d* = ceil(max |E[S]|/|S|)
+        verify_orientation(g, orientation, d)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_hypothesis_witness_always_valid(seed):
+    n, edges = gen.erdos_renyi(12, 24, seed=seed)
+    g = DynamicGraph(n, edges)
+    d, orientation = min_max_outdegree(g)
+    verify_orientation(g, orientation, d)
+    if g.m:
+        assert orient_with_cap(g, d - 1) is None or d == 1

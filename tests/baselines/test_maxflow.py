@@ -1,0 +1,88 @@
+"""Tests for the Dinic max-flow substrate."""
+
+import pytest
+
+from repro.baselines import Dinic
+
+
+class TestBasics:
+    def test_single_edge(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, 5.0)
+        assert d.max_flow(0, 1) == 5.0
+
+    def test_series_bottleneck(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5.0)
+        d.add_edge(1, 2, 3.0)
+        assert d.max_flow(0, 2) == 3.0
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 2.0)
+        d.add_edge(1, 3, 2.0)
+        d.add_edge(0, 2, 3.0)
+        d.add_edge(2, 3, 3.0)
+        assert d.max_flow(0, 3) == 5.0
+
+    def test_disconnected(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 1.0)
+        d.add_edge(2, 3, 1.0)
+        assert d.max_flow(0, 3) == 0.0
+
+    def test_negative_capacity_rejected(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.add_edge(0, 1, -1.0)
+
+
+class TestClassicNetwork:
+    def test_clrs_example(self):
+        # CLRS figure 26.1-style network, max flow 23
+        d = Dinic(6)
+        s, v1, v2, v3, v4, t = range(6)
+        d.add_edge(s, v1, 16)
+        d.add_edge(s, v2, 13)
+        d.add_edge(v1, v3, 12)
+        d.add_edge(v2, v1, 4)
+        d.add_edge(v2, v4, 14)
+        d.add_edge(v3, v2, 9)
+        d.add_edge(v3, t, 20)
+        d.add_edge(v4, v3, 7)
+        d.add_edge(v4, t, 4)
+        assert d.max_flow(s, t) == 23
+
+    def test_min_cut_side(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 1.0)
+        d.add_edge(1, 2, 10.0)
+        d.add_edge(2, 3, 10.0)
+        d.max_flow(0, 3)
+        side = d.min_cut_side(0)
+        assert side == {0}  # the unit edge is the cut
+
+
+class TestAgainstNetworkx:
+    def test_random_networks(self):
+        import random
+
+        import networkx as nx
+
+        rng = random.Random(11)
+        for trial in range(5):
+            n = 8
+            g = nx.DiGraph()
+            d = Dinic(n)
+            for _ in range(20):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v:
+                    cap = rng.randint(1, 10)
+                    d.add_edge(u, v, float(cap))
+                    if g.has_edge(u, v):
+                        g[u][v]["capacity"] += cap
+                    else:
+                        g.add_edge(u, v, capacity=cap)
+            g.add_nodes_from(range(n))
+            expected = nx.maximum_flow_value(g, 0, n - 1) if g.has_node(0) else 0
+            assert abs(d.max_flow(0, n - 1) - expected) < 1e-6

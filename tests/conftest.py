@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.graph import DynamicGraph
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def random_graph(n: int, m: int, seed: int = 0) -> DynamicGraph:
+    from repro.graphs.generators import erdos_renyi
+
+    n, edges = erdos_renyi(n, m, seed)
+    return DynamicGraph(n, edges)
+
+
+def apply_stream(structure, ops) -> None:
+    """Drive any structure exposing insert_batch/delete_batch."""
+    for op in ops:
+        if op.kind == "insert":
+            structure.insert_batch(op.edges)
+        else:
+            structure.delete_batch(op.edges)

@@ -1,0 +1,128 @@
+"""Theorem 4.1 deletion path: token-pushing with truncated ranks."""
+
+import random
+
+import pytest
+
+from repro.core import BalancedOrientation
+from repro.errors import BatchError
+from repro.graphs import generators as gen
+
+
+def build(H, edges):
+    st = BalancedOrientation(H=H)
+    st.insert_batch(edges)
+    return st
+
+
+class TestBasics:
+    def test_delete_single(self):
+        st = build(3, [(0, 1), (1, 2)])
+        st.delete_batch([(0, 1)])
+        st.check_invariants()
+        assert st.num_arcs() == 1
+
+    def test_delete_absent_rejected(self):
+        st = build(3, [(0, 1)])
+        with pytest.raises(BatchError):
+            st.delete_batch([(1, 2)])
+
+    def test_delete_duplicate_in_batch_rejected(self):
+        st = build(3, [(0, 1)])
+        with pytest.raises(BatchError):
+            st.delete_batch([(0, 1), (1, 0)])
+
+    def test_delete_everything(self):
+        n, edges = gen.clique(8)
+        st = build(4, edges)
+        st.delete_batch(edges)
+        st.check_invariants()
+        assert st.num_arcs() == 0
+        assert st.max_outdegree() == 0
+
+
+class TestInvariantAfterDeletes:
+    @pytest.mark.parametrize("H", [1, 2, 4, 8])
+    def test_random_graph_batched_deletes(self, H):
+        n, edges = gen.erdos_renyi(40, 160, seed=10 + H)
+        st = build(H, edges)
+        doomed = list(edges)
+        random.Random(H).shuffle(doomed)
+        for i in range(0, len(doomed), 19):
+            st.delete_batch(doomed[i : i + 19])
+            st.check_invariants()
+
+    def test_delete_above_H_is_free(self):
+        # a vertex saturated above H loses edges without any token game
+        n, edges = gen.clique(10)
+        st = build(2, edges)
+        games_before = st.cm.counters.get("push_games", 0)
+        hub = max(range(10), key=st.outdegree)
+        assert st.outdegree(hub) > 2
+        victims = [(hub, w) for w in st.out_neighbors(hub)[: st.outdegree(hub) - 2]]
+        st.delete_batch(victims)
+        st.check_invariants()
+
+    def test_many_deletions_same_vertex(self):
+        # all of one vertex's out-edges die in one batch: up to H tokens on
+        # the same vertex, forcing multiple bundles (Definition 4.17)
+        n, edges = gen.star(6)
+        st = build(6, edges)
+        hub = max(range(n), key=st.outdegree)
+        victims = [(hub, w) for w in st.out_neighbors(hub)]
+        if victims:
+            st.delete_batch(victims)
+            st.check_invariants()
+
+    def test_single_edge_delete_batches(self):
+        n, edges = gen.grid(5, 5)
+        st = build(3, edges)
+        for e in edges:
+            st.delete_batch([e])
+            st.check_invariants()
+        assert st.num_arcs() == 0
+
+
+class TestPushGameCounters:
+    def test_push_phase_bound(self):
+        H = 4
+        n, edges = gen.erdos_renyi(35, 140, seed=12)
+        st = build(H, edges)
+        st.delete_batch(edges[:70])
+        games = st.cm.counters.get("push_games", 0)
+        phases = st.cm.counters.get("push_phases", 0)
+        if games:
+            assert phases <= games * (H + 1) ** 3
+
+    def test_bundle_partition_count(self):
+        # deleting k <= H edges out of one vertex needs <= k bundles
+        n, edges = gen.clique(8)
+        st = build(8, edges)
+        hub = max(range(8), key=st.outdegree)
+        outs = st.out_neighbors(hub)[:3]
+        st.delete_batch([(hub, w) for w in outs])
+        assert st.cm.counters.get("delete_bundles", 0) <= 3
+
+    def test_journal_records_deletes(self):
+        st = build(3, [(0, 1), (1, 2)])
+        st.delete_batch([(1, 2)])
+        assert len(st.last_deleted) == 1
+        assert st.last_inserted == []
+
+
+class TestLevelsReconciled:
+    def test_levels_match_outsets_after_every_batch(self):
+        n, edges = gen.barabasi_albert(50, 3, seed=13)
+        st = build(4, edges)
+        doomed = list(edges)
+        random.Random(99).shuffle(doomed)
+        for i in range(0, len(doomed), 31):
+            st.delete_batch(doomed[i : i + 31])
+            for v, outset in st.out.items():
+                assert st.level.get(v, 0) == len(outset)
+
+    def test_no_leftover_labels(self):
+        n, edges = gen.erdos_renyi(30, 120, seed=14)
+        st = build(3, edges)
+        st.delete_batch(edges[:60])
+        assert st.vertex_label == {}

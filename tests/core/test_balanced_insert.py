@@ -1,0 +1,143 @@
+"""Theorem 4.1 insertion path: token bundles and the dropping game."""
+
+import pytest
+
+from repro.core import BalancedOrientation
+from repro.errors import BatchError, ParameterError
+from repro.graphs import generators as gen, streams
+from repro.instrument import CostModel
+
+
+class TestBasics:
+    def test_initialization_is_constant_work(self):
+        cm = CostModel()
+        BalancedOrientation(H=4, cm=cm)
+        assert cm.work == 0  # lazy initialization (Lemma 4.5)
+
+    def test_single_edge(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(0, 1)])
+        st.check_invariants()
+        assert st.num_arcs() == 1
+        assert st.outdegree(0) + st.outdegree(1) == 1
+
+    def test_invalid_height(self):
+        with pytest.raises(ParameterError):
+            BalancedOrientation(H=0)
+
+    def test_duplicate_within_batch_rejected(self):
+        st = BalancedOrientation(H=3)
+        with pytest.raises(BatchError):
+            st.insert_batch([(0, 1), (1, 0)])
+
+    def test_reinsert_rejected(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(0, 1)])
+        with pytest.raises(BatchError):
+            st.insert_batch([(0, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(BatchError):
+            BalancedOrientation(H=3).insert_batch([(2, 2)])
+
+
+class TestInvariantAfterInserts:
+    @pytest.mark.parametrize("H", [1, 2, 4, 8])
+    def test_random_graph_batches(self, H):
+        n, edges = gen.erdos_renyi(40, 160, seed=H)
+        st = BalancedOrientation(H=H)
+        for i in range(0, len(edges), 23):
+            st.insert_batch(edges[i : i + 23])
+            st.check_invariants()
+        assert st.num_arcs() == 160
+
+    def test_whole_clique_one_batch(self):
+        n, edges = gen.clique(12)
+        st = BalancedOrientation(H=6)
+        st.insert_batch(edges)
+        st.check_invariants()
+
+    def test_star_one_batch(self):
+        n, edges = gen.star(30)
+        st = BalancedOrientation(H=3)
+        st.insert_batch(edges)
+        st.check_invariants()
+        # a star is 1-degenerate: no vertex should be forced high
+        assert st.max_outdegree() <= 3
+
+    def test_single_edge_batches(self):
+        n, edges = gen.cycle(15)
+        st = BalancedOrientation(H=2)
+        for e in edges:
+            st.insert_batch([e])
+            st.check_invariants()
+
+    def test_low_H_dense_graph_saturates_gracefully(self):
+        n, edges = gen.clique(10)
+        st = BalancedOrientation(H=2)
+        st.insert_batch(edges)
+        st.check_invariants()  # free insertions beyond H keep consistency
+        assert st.max_outdegree() > 2  # saturation is expected, not an error
+
+
+class TestMaxOutdegreeQuality:
+    def test_forest_stays_low(self):
+        n, edges = gen.random_forest(60, trees=3, seed=1)
+        st = BalancedOrientation(H=4)
+        st.insert_batch(edges)
+        # arboricity 1 graph: Lemma 3.2-style bound keeps out-degrees tiny
+        assert st.max_outdegree() <= 4
+
+    def test_grid_stays_low(self):
+        n, edges = gen.grid(8, 8)
+        st = BalancedOrientation(H=6)
+        st.insert_batch(edges)
+        assert st.max_outdegree() <= 5
+
+
+class TestGameCounters:
+    def test_phases_and_games_counted(self):
+        st = BalancedOrientation(H=4)
+        n, edges = gen.clique(9)
+        st.insert_batch(edges)
+        assert st.cm.counters.get("drop_games", 0) >= 1
+        assert st.cm.counters.get("insert_bundle_rounds", 0) >= 1
+
+    def test_phase_count_within_lemma_bound(self):
+        # Lemma 4.8: O(H^3) phases per bundle; measure the max per game
+        H = 4
+        st = BalancedOrientation(H=H)
+        n, edges = gen.erdos_renyi(30, 120, seed=3)
+        st.insert_batch(edges)
+        games = st.cm.counters.get("drop_games", 1)
+        phases = st.cm.counters.get("drop_phases", 0)
+        assert phases <= games * (H + 1) ** 3
+
+    def test_journal_records_inserts(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(0, 1), (1, 2)])
+        assert len(st.last_inserted) == 2
+        assert st.last_deleted == []
+
+
+class TestWorkDepthShape:
+    def test_work_scales_with_batch_not_graph(self):
+        st = BalancedOrientation(H=4)
+        n, edges = gen.erdos_renyi(80, 400, seed=4)
+        st.insert_batch(edges[:390])
+        before = st.cm.snapshot()
+        st.insert_batch(edges[390:])  # 10 edges into a 390-edge graph
+        delta = st.cm.snapshot() - before
+        # worst-case guarantee: small batch => small work, regardless of m
+        assert delta.work < 0.3 * before.work
+
+    def test_depth_grows_sublinearly_in_batch(self):
+        n, edges = gen.erdos_renyi(60, 256, seed=5)
+        half = len(edges) // 2
+        st1 = BalancedOrientation(H=5)
+        st1.insert_batch(edges[:half])
+        d_half = st1.cm.depth
+        st2 = BalancedOrientation(H=5)
+        st2.insert_batch(edges)
+        # doubling the batch should NOT double the depth (parallelism)
+        assert st2.cm.depth < 1.7 * d_half

@@ -1,0 +1,91 @@
+"""Property-based tests: the structure vs. a ground-truth graph model.
+
+Hypothesis drives random mixed batch schedules and, after every batch,
+verifies the full invariant set (I1–I3 of DESIGN.md §5): H-balancedness,
+index consistency, level reconciliation, and agreement of the maintained
+edge set with the model graph.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BalancedOrientation
+from repro.graphs import DynamicGraph, streams
+from repro.graphs.graph import norm_edge
+
+
+@st.composite
+def batch_schedules(draw):
+    """A valid schedule of insert/delete batches over a small vertex set."""
+    n = draw(st.integers(4, 16))
+    steps = draw(st.integers(1, 8))
+    live: set = set()
+    schedule = []
+    for _ in range(steps):
+        do_insert = draw(st.booleans()) or not live
+        if do_insert:
+            size = draw(st.integers(1, 10))
+            fresh = set()
+            for _ in range(size * 3):
+                u = draw(st.integers(0, n - 1))
+                v = draw(st.integers(0, n - 1))
+                if u != v:
+                    e = norm_edge(u, v)
+                    if e not in live and e not in fresh:
+                        fresh.add(e)
+                if len(fresh) >= size:
+                    break
+            if not fresh:
+                continue
+            live |= fresh
+            schedule.append(("insert", tuple(sorted(fresh))))
+        else:
+            pool = sorted(live)
+            k = draw(st.integers(1, len(pool)))
+            idx = draw(st.permutations(range(len(pool))))
+            victims = tuple(pool[i] for i in idx[:k])
+            live -= set(victims)
+            schedule.append(("delete", victims))
+    return n, schedule
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(batch_schedules(), st.integers(1, 6))
+def test_invariants_hold_through_any_schedule(schedule, H):
+    n, ops = schedule
+    struct = BalancedOrientation(H=H)
+    model = DynamicGraph(n)
+    for kind, edges in ops:
+        if kind == "insert":
+            struct.insert_batch(edges)
+            model.insert_batch(edges)
+        else:
+            struct.delete_batch(edges)
+            model.delete_batch(edges)
+        struct.check_invariants()
+        # the maintained undirected edge set equals the model's
+        ours = {(a, b) for (a, b, _c) in struct.tail_of}
+        assert ours == model.edges
+        # recorded out-degrees sum to the edge count
+        assert sum(struct.level.values()) == model.m
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 1_000_000), st.integers(1, 5))
+def test_sawtooth_fuzz(seed, H):
+    """Adversarial build/tear cycles parameterized by a fuzzed seed."""
+    k = 4 + seed % 5
+    ops = streams.sawtooth_clique(k, repeats=2, small_batch=1 + seed % 3)
+    struct = BalancedOrientation(H=H)
+    for op in ops:
+        if op.kind == "insert":
+            struct.insert_batch(op.edges)
+        else:
+            struct.delete_batch(op.edges)
+    struct.check_invariants()
+    assert struct.num_arcs() == 0

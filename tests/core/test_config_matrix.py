@@ -1,0 +1,66 @@
+"""Cross-configuration invariant matrix for BALANCED(H).
+
+A broad parametrized sweep — family x height x batch size — each cell
+replaying an insert+delete lifecycle with full invariant checks.  These
+are the cheap, wide nets that catch interactions the targeted tests miss.
+"""
+
+import pytest
+
+from repro.core import BalancedOrientation
+from repro.graphs import generators as gen, streams
+
+
+FAMILIES = {
+    "er": lambda: gen.erdos_renyi(30, 90, seed=40),
+    "ba": lambda: gen.barabasi_albert(30, 2, seed=41),
+    "grid": lambda: gen.grid(5, 6),
+    "clique": lambda: gen.clique(9),
+    "bipartite": lambda: gen.complete_bipartite(5, 6),
+    "forest": lambda: gen.random_forest(30, trees=3, seed=42),
+    "star": lambda: gen.star(25),
+    "planted": lambda: gen.planted_dense(30, block=8, p_in=1.0, out_edges=20, seed=43),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("H", [1, 3, 7])
+@pytest.mark.parametrize("batch", [3, 17])
+def test_lifecycle_invariants(family, H, batch):
+    _, edges = FAMILIES[family]()
+    st = BalancedOrientation(H=H)
+    for op in streams.insert_then_delete(edges, batch, seed=H * 100 + batch):
+        if op.kind == "insert":
+            st.insert_batch(op.edges)
+        else:
+            st.delete_batch(op.edges)
+        st.check_invariants()
+    assert st.num_arcs() == 0
+    assert st.max_outdegree() == 0
+
+
+@pytest.mark.parametrize("H", [2, 5])
+def test_interleaved_reinsertion(H):
+    """Edges deleted and immediately reinserted across several cycles."""
+    _, edges = gen.erdos_renyi(20, 60, seed=44)
+    st = BalancedOrientation(H=H)
+    st.insert_batch(edges)
+    for cycle in range(3):
+        chunk = edges[cycle * 15 : cycle * 15 + 15]
+        st.delete_batch(chunk)
+        st.check_invariants()
+        st.insert_batch(chunk)
+        st.check_invariants()
+    assert st.num_arcs() == len(edges)
+
+
+@pytest.mark.parametrize("H", [1, 4])
+def test_mixed_within_stream(H):
+    """Alternating insert/delete batches that overlap the same region."""
+    st = BalancedOrientation(H=H)
+    for op in streams.churn(22, steps=36, batch_size=7, insert_bias=0.5, seed=45):
+        if op.kind == "insert":
+            st.insert_batch(op.edges)
+        else:
+            st.delete_batch(op.edges)
+        st.check_invariants()

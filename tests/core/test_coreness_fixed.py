@@ -1,0 +1,88 @@
+"""Tests for the fixed-height coreness estimator (Theorem 5.1)."""
+
+import pytest
+
+from repro.baselines import core_numbers
+from repro.config import Constants
+from repro.core import FixedHCorenessEstimator
+from repro.graphs import DynamicGraph, generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+class TestRegimeSelection:
+    def test_small_h_uses_duplication(self):
+        est = FixedHCorenessEstimator(H=2, eps=0.4, n=64, constants=SMALL)
+        assert est.regime == "duplication"
+        assert est.K >= 1
+
+    def test_large_h_uses_sampling(self):
+        est = FixedHCorenessEstimator(H=1000, eps=0.4, n=64, constants=SMALL)
+        assert est.regime == "sampling"
+        assert est.sampler.p == pytest.approx(est.B / 1000)
+
+
+class TestDuplicationRegime:
+    def test_estimate_tracks_coreness(self):
+        n, edges = gen.clique(8)  # core = 7 everywhere
+        H = 8
+        est = FixedHCorenessEstimator(H=H, eps=0.4, n=32, constants=SMALL)
+        est.insert_batch(edges)
+        est.check_invariants()
+        for v in range(8):
+            f = est.estimate(v)
+            # Theorem 5.1 band with generous slack at laptop constants
+            assert f >= 0.25 * 7 - 0.5 * H - 1
+            assert f <= 3 * 7 + 0.5 * H + 1
+
+    def test_sparse_graph_estimates_low(self):
+        n, edges = gen.path(20)  # core = 1
+        est = FixedHCorenessEstimator(H=4, eps=0.4, n=32, constants=SMALL)
+        est.insert_batch(edges)
+        assert max(est.estimate(v) for v in range(n)) <= 3
+
+    def test_deletion_lowers_estimate(self):
+        n, edges = gen.clique(8)
+        est = FixedHCorenessEstimator(H=6, eps=0.4, n=32, constants=SMALL)
+        est.insert_batch(edges)
+        hi = max(est.estimate(v) for v in range(8))
+        est.delete_batch(edges[: len(edges) * 3 // 4])
+        est.check_invariants()
+        lo = max(est.estimate(v) for v in range(8))
+        assert lo < hi
+
+
+class TestSamplingRegime:
+    def test_sampled_structure_holds_subset(self):
+        n, edges = gen.erdos_renyi(50, 200, seed=1)
+        est = FixedHCorenessEstimator(H=500, eps=0.4, n=50, constants=SMALL, seed=2)
+        est.insert_batch(edges)
+        est.check_invariants()
+        assert est.bal.num_arcs() <= len(edges)
+        est.delete_batch(edges)
+        assert est.bal.num_arcs() == 0
+
+    def test_saturation_flags_high_core(self):
+        # H far below the real coreness: estimate must NOT be saturated for
+        # a sparse graph, and the estimate stays small
+        n, edges = gen.path(30)
+        est = FixedHCorenessEstimator(H=100, eps=0.4, n=30, constants=SMALL)
+        est.insert_batch(edges)
+        assert not any(est.saturated(v) for v in range(n))
+
+
+class TestSandwich:
+    """The two-sided Theorem 5.1 statement on a planted instance."""
+
+    def test_planted_block(self):
+        n, edges = gen.planted_dense(50, block=12, p_in=1.0, out_edges=25, seed=3)
+        g = DynamicGraph(n, edges)
+        cores = core_numbers(g)
+        H = 12
+        est = FixedHCorenessEstimator(H=H, eps=0.4, n=n, constants=SMALL)
+        est.insert_batch(edges)
+        block_est = [est.estimate(v) for v in range(12)]
+        sea = [est.estimate(v) for v in range(12, n) if cores.get(v, 0) <= 1]
+        # block (core 11) must estimate clearly above the sparse sea
+        assert min(block_est) > 2 * max(sea, default=0.5)

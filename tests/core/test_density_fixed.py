@@ -1,0 +1,96 @@
+"""Tests for the fixed-height density guard (Theorem 5.2)."""
+
+import pytest
+
+from repro.baselines import exact_density
+from repro.config import Constants
+from repro.core import FixedHDensityGuard
+from repro.graphs import DynamicGraph, generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+class TestRegimeSelection:
+    def test_low_h_duplicates(self):
+        g = FixedHDensityGuard(H=2, eps=0.4, n=64, constants=SMALL)
+        assert g.regime == "duplication"
+
+    def test_high_h_buckets(self):
+        g = FixedHDensityGuard(H=200, eps=0.4, n=64, constants=SMALL)
+        assert g.regime == "buckets"
+        assert g.T >= 2
+
+
+class TestVerdicts:
+    def test_sparse_graph_low_verdict(self):
+        n, edges = gen.path(30)  # rho < 1
+        g = FixedHDensityGuard(H=4, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        assert g.verdict() == "low"
+        g.check_invariants()
+
+    def test_dense_graph_high_verdict_at_low_hint(self):
+        n, edges = gen.clique(14)  # rho = 6.5
+        g = FixedHDensityGuard(H=1, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        assert g.verdict() == "high"
+
+    def test_verdict_flips_with_deletions(self):
+        n, edges = gen.clique(12)
+        g = FixedHDensityGuard(H=2, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        assert g.verdict() == "high"
+        g.delete_batch(edges[: len(edges) - 6])
+        g.check_invariants()
+        assert g.verdict() == "low"
+
+    def test_bucket_regime_verdicts(self):
+        # large hint, sparse graph -> low
+        n, edges = gen.grid(6, 6)
+        g = FixedHDensityGuard(H=200, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        assert g.verdict() == "low"
+
+
+class TestExportedOrientation:
+    def test_out_degree_bounded_when_low(self):
+        n, edges = gen.erdos_renyi(30, 90, seed=1)
+        rho = exact_density(DynamicGraph(n, edges))
+        H = max(1, int(rho) + 2)
+        g = FixedHDensityGuard(H=H, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        if g.verdict() == "low":
+            assert g.max_out_export() <= g.out_degree_bound() + 1
+
+    def test_orientation_covers_all_edges(self):
+        n, edges = gen.cycle(12)
+        g = FixedHDensityGuard(H=3, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        for u, v in edges:
+            tail, head = g.orientation_of(u, v)
+            assert {tail, head} == {u, v}
+
+    def test_changed_edges_tracked(self):
+        g = FixedHDensityGuard(H=3, eps=0.4, n=16, constants=SMALL)
+        g.insert_batch([(0, 1), (1, 2)])
+        assert {(0, 1), (1, 2)} <= g.changed_edges
+        g.delete_batch([(0, 1)])
+        assert (0, 1) in g.changed_edges
+
+
+class TestBucketRouting:
+    def test_same_edge_same_bucket(self):
+        g = FixedHDensityGuard(H=300, eps=0.4, n=64, constants=SMALL)
+        assert g._bucket_of(3, 7) == g._bucket_of(7, 3)
+
+    def test_deletion_finds_its_bucket(self):
+        n, edges = gen.erdos_renyi(40, 120, seed=2)
+        g = FixedHDensityGuard(H=300, eps=0.4, n=n, constants=SMALL)
+        g.insert_batch(edges)
+        g.delete_batch(edges)  # would raise if routed to a wrong bucket
+        assert all(b.num_arcs() == 0 for b in g._buckets.values())
+
+    def test_buckets_lazy(self):
+        g = FixedHDensityGuard(H=300, eps=0.4, n=64, constants=SMALL)
+        assert g._buckets == {}

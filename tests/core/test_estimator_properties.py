@@ -1,0 +1,108 @@
+"""Property-based tests of the estimator layer against exact oracles."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import core_numbers, exact_density, greedy_peeling_density
+from repro.config import Constants
+from repro.core import (
+    CorenessMonitor,
+    DensityEstimator,
+    FixedHCorenessEstimator,
+    FixedHDensityGuard,
+)
+from repro.graphs import DynamicGraph, generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+@st.composite
+def small_graphs(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(8, 24))
+    m = draw(st.integers(4, min(60, n * (n - 1) // 2)))
+    return gen.erdos_renyi(n, m, seed=seed)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_graphs(), st.integers(1, 10))
+def test_fixed_h_saturation_dichotomy(graph, H):
+    """Theorem 5.1's case split: saturated => core >= c*H, else two-sided."""
+    n, edges = graph
+    g = DynamicGraph(n, edges)
+    exact = core_numbers(g)
+    est = FixedHCorenessEstimator(H=H, eps=0.4, n=n, constants=SMALL, seed=1)
+    est.insert_batch(edges)
+    for v in g.touched_vertices():
+        c = exact.get(v, 0)
+        f = est.estimate(v)
+        if est.saturated(v):
+            # only a lower bound is promised; generous constant for scale
+            assert c >= 0.1 * H - 2
+        elif c >= 2:
+            assert 0.1 * c - 0.6 * H <= f <= 4.0 * c + 0.6 * H + 2
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_graphs())
+def test_density_guard_verdict_consistent_with_truth(graph):
+    """Theorem 5.2: 'low' implies rho not huge; 'high' implies rho not tiny."""
+    n, edges = graph
+    g = DynamicGraph(n, edges)
+    rho = greedy_peeling_density(g)[0]  # cheap 1/2-approx suffices as anchor
+    for H in (1, 2, 4, 8):
+        guard = FixedHDensityGuard(H=H, eps=0.4, n=n, constants=SMALL, seed=2)
+        guard.insert_batch(edges)
+        if guard.verdict() == "low":
+            assert rho <= 2.5 * H + 2      # rho <= (1+eps)H with slack
+        else:
+            assert 2 * rho >= 0.3 * H - 1  # rho > (1-eps)H with slack
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_graphs())
+def test_density_ladder_monotone_with_exact(graph):
+    n, edges = graph
+    g = DynamicGraph(n, edges)
+    rho = exact_density(g)
+    de = DensityEstimator(n, eps=0.4, constants=SMALL, seed=3)
+    de.insert_batch(edges)
+    est = de.density_estimate()
+    assert 0.3 * rho - 0.5 <= est <= max(2.0, 3.0 * rho)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_graphs(), st.data())
+def test_monitor_estimates_survive_random_deletions(graph, data):
+    n, edges = graph
+    mon = CorenessMonitor(n, eps=0.4, constants=SMALL, seed=4)
+    mon.insert_batch(edges)
+    # delete a random subset in one batch, then re-validate the band
+    k = data.draw(st.integers(0, len(edges)))
+    idx = data.draw(st.permutations(range(len(edges))))
+    doomed = [edges[i] for i in idx[:k]]
+    if doomed:
+        mon.delete_batch(doomed)
+    exact = core_numbers(mon.graph)
+    for v in mon.graph.touched_vertices():
+        c = exact.get(v, 0)
+        if c >= 2:
+            assert 0.1 * c <= mon.estimate(v) <= 6.0 * c
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(small_graphs())
+def test_orientation_export_covers_exactly_the_edges(graph):
+    n, edges = graph
+    de = DensityEstimator(n, eps=0.4, constants=SMALL, seed=5)
+    de.insert_batch(edges)
+    covered = set()
+    vertices = {v for e in edges for v in e}
+    for v in vertices:
+        for w in de.orientation_out(v):
+            e = tuple(sorted((v, w)))
+            assert e not in covered, "edge claimed by both endpoints"
+            covered.add(e)
+    assert covered == set(edges)

@@ -1,0 +1,117 @@
+"""Tests for the unconditional ladders (Theorems 1.1 and 1.2)."""
+
+import pytest
+
+from repro.baselines import core_numbers, exact_density
+from repro.config import Constants, ladder_heights
+from repro.core import CorenessDecomposition, DensityEstimator
+from repro.graphs import DynamicGraph, generators as gen, streams
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+class TestLadderHeights:
+    def test_strictly_increasing(self):
+        hs = ladder_heights(100, 0.3)
+        assert hs == sorted(set(hs))
+        assert hs[0] == 1
+        assert hs[-1] >= 100
+
+    def test_h_max_override(self):
+        hs = ladder_heights(1000, 0.3, h_max=10)
+        assert hs[-1] >= 10
+        assert hs[-1] < 20
+
+    def test_density_of_rungs_controlled_by_eps(self):
+        dense = ladder_heights(100, 0.1)
+        coarse = ladder_heights(100, 0.8)
+        assert len(dense) > len(coarse)
+
+
+class TestCorenessLadder:
+    def test_band_on_known_families(self):
+        # K10 (core 9) + path (core 1) in one graph
+        n1, clique_edges = gen.clique(10)
+        path_edges = [(20 + i, 21 + i) for i in range(10)]
+        edges = clique_edges + path_edges
+        n = 32
+        cd = CorenessDecomposition(n, eps=0.35, constants=SMALL, seed=1)
+        cd.insert_batch(edges)
+        for v in range(10):
+            est = cd.estimate(v)
+            assert 0.25 * 9 <= est <= 3.0 * 9, f"clique vertex {v}: {est}"
+        for v in range(20, 30):
+            assert cd.estimate(v) <= 4
+
+    def test_estimates_dict(self):
+        cd = CorenessDecomposition(16, eps=0.4, constants=SMALL)
+        cd.insert_batch([(0, 1), (1, 2)])
+        ests = cd.estimates()
+        assert set(ests) == {0, 1, 2}
+
+    def test_tracks_deletions(self):
+        n, edges = gen.clique(9)
+        cd = CorenessDecomposition(16, eps=0.4, constants=SMALL, seed=2)
+        cd.insert_batch(edges)
+        hi = cd.estimate(0)
+        cd.delete_batch(edges[:30])
+        assert cd.estimate(0) <= hi
+
+    def test_band_against_exact_across_batches(self):
+        n, edges = gen.planted_dense(36, block=10, p_in=1.0, out_edges=20, seed=3)
+        g = DynamicGraph(n, edges)
+        cd = CorenessDecomposition(n, eps=0.35, constants=SMALL, seed=3)
+        for i in range(0, len(edges), 30):
+            cd.insert_batch(edges[i : i + 30])
+        exact = core_numbers(g)
+        for v in g.touched_vertices():
+            c = exact.get(v, 0)
+            if c >= 2:  # additive slack drowns core-1 vertices
+                est = cd.estimate(v)
+                assert 0.2 * c <= est <= 4.0 * c, f"v={v} core={c} est={est}"
+
+
+class TestDensityLadder:
+    def test_density_estimate_band(self):
+        n, edges = gen.clique(10)  # rho = 4.5
+        de = DensityEstimator(n, eps=0.35, constants=SMALL, seed=4)
+        de.insert_batch(edges)
+        rho = 4.5
+        assert 0.5 * rho <= de.density_estimate() <= 2.0 * rho
+
+    def test_arboricity_estimate_is_twice_density(self):
+        de = DensityEstimator(16, eps=0.4, constants=SMALL)
+        de.insert_batch([(0, 1)])
+        assert de.arboricity_estimate() == 2 * de.density_estimate()
+
+    def test_orientation_outdegree_bounded(self):
+        n, edges = gen.erdos_renyi(25, 75, seed=5)
+        rho = exact_density(DynamicGraph(n, edges))
+        de = DensityEstimator(n, eps=0.35, constants=SMALL, seed=5)
+        de.insert_batch(edges)
+        # Theorem 1.2: delta+ <= (2 + eps) rho; allow slack for constants
+        assert de.max_outdegree() <= max(3.0, 3.0 * rho)
+
+    def test_estimate_follows_churn(self):
+        de = DensityEstimator(20, eps=0.4, constants=SMALL, seed=6)
+        for op in streams.churn(20, steps=12, batch_size=6, seed=7):
+            if op.kind == "insert":
+                de.insert_batch(op.edges)
+            else:
+                de.delete_batch(op.edges)
+        assert de.density_estimate() >= 1.0
+
+    def test_orientation_of_every_edge(self):
+        n, edges = gen.grid(4, 4)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL)
+        de.insert_batch(edges)
+        for u, v in edges:
+            tail, head = de.orientation_of(u, v)
+            assert {tail, head} == {u, v}
+
+    def test_invariants(self):
+        n, edges = gen.cycle(10)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL)
+        de.insert_batch(edges)
+        de.check_invariants()

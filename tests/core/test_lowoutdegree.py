@@ -1,0 +1,98 @@
+"""Tests for the LOWOUTDEGREE interface (Lemma 6.1)."""
+
+import pytest
+
+from repro.config import Constants
+from repro.core import LowOutDegree
+from repro.graphs import generators as gen, streams
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def make(H=4, n=32, eps=0.4, seed=0):
+    return LowOutDegree(H, eps, n, constants=SMALL, seed=seed)
+
+
+class TestMirror:
+    def test_d_out_after_insert(self):
+        lod = make()
+        lod.insert_batch([(0, 1), (1, 2)])
+        outs = [sorted(lod.d_out(v)) for v in range(3)]
+        # each edge appears in exactly one endpoint's out-set
+        total = sum(len(o) for o in outs)
+        assert total == 2
+        lod.check_invariants()
+
+    def test_d_out_after_delete(self):
+        lod = make()
+        lod.insert_batch([(0, 1), (1, 2)])
+        lod.delete_batch([(0, 1)])
+        total = sum(len(lod.d_out(v)) for v in range(3))
+        assert total == 1
+        lod.check_invariants()
+
+    def test_mirror_consistent_under_churn(self):
+        lod = make(H=5, n=24)
+        for op in streams.churn(24, steps=25, batch_size=6, seed=1):
+            if op.kind == "insert":
+                lod.insert_batch(op.edges)
+            else:
+                lod.delete_batch(op.edges)
+            lod.check_invariants()
+
+    def test_orientation_of(self):
+        lod = make()
+        lod.insert_batch([(3, 4)])
+        tail, head = lod.orientation_of(3, 4)
+        assert {tail, head} == {3, 4}
+        assert head in lod.d_out(tail)
+
+
+class TestChangeTables:
+    def test_d_ins_lists_new_edges(self):
+        lod = make()
+        lod.insert_batch([(0, 1), (2, 3)])
+        keys = set(lod.d_ins.keys())
+        assert {(0, 1), (2, 3)} <= keys
+
+    def test_d_del_marks_deletions_none(self):
+        lod = make()
+        lod.insert_batch([(0, 1)])
+        lod.delete_batch([(0, 1)])
+        assert lod.d_del.get((0, 1), "missing") is None
+
+    def test_tables_reset_per_batch(self):
+        lod = make()
+        lod.insert_batch([(0, 1)])
+        lod.insert_batch([(2, 3)])
+        assert (0, 1) not in lod.d_ins.keys() or lod.d_ins.get((0, 1)) is not None
+        assert (2, 3) in set(lod.d_ins.keys())
+
+    def test_table_size_bounded_by_changes(self):
+        lod = make(H=4, n=40)
+        n, edges = gen.erdos_renyi(40, 120, seed=2)
+        lod.insert_batch(edges[:100])
+        lod.insert_batch(edges[100:110])
+        # the change table of a 10-edge batch must not mention untouched edges
+        assert len(lod.d_ins) <= 10 + 60  # batch + possible reversals
+
+
+class TestVerdictPassThrough:
+    def test_low_when_sparse(self):
+        lod = make(H=6)
+        n, edges = gen.path(12)
+        lod.insert_batch(edges)
+        assert lod.guarantees_low()
+
+    def test_high_when_dense(self):
+        lod = make(H=1, n=16)
+        n, edges = gen.clique(12)
+        lod.insert_batch(edges)
+        assert not lod.guarantees_low()
+
+    def test_max_outdegree_reported(self):
+        lod = make(H=4)
+        n, edges = gen.grid(4, 4)
+        lod.insert_batch(edges)
+        assert 1 <= lod.max_outdegree() <= 2 * 4 + 1

@@ -1,0 +1,61 @@
+"""Regression tests for deviation D1 (DESIGN.md).
+
+The paper's literal token-pushing rules let a token arriving through a
+rank <= H arc *occupy* a receiver whose frozen level is >= H + 1; the
+occupied receiver then blocks other tokens via condition (c) while its own
+settlement is invisible under ``min(H, .)`` — terminating the game in a
+state whose settlement violates H-balancedness.  The fix absorbs such
+tokens transparently (receiver-side budget).  These tests pin both the
+original failing workload and the local shape of the fix.
+"""
+
+from repro.core import BalancedOrientation
+from repro.graphs import streams
+
+
+class TestOriginalWorkload:
+    def test_churn_seed9_regression(self):
+        """The exact stream that exposed the deadlock (H=5, op #70)."""
+        st = BalancedOrientation(H=5)
+        for op in streams.churn(40, steps=80, batch_size=12, seed=9):
+            if op.kind == "insert":
+                st.insert_batch(op.edges)
+            else:
+                st.delete_batch(op.edges)
+            st.check_invariants()
+
+
+class TestTransparentAbsorption:
+    def _hub_scenario(self, H):
+        """Build: hub with level > H, plus low vertices hanging off it."""
+        st = BalancedOrientation(H=H)
+        hub = 0
+        spokes = list(range(1, 2 * H + 4))
+        st.insert_batch([(hub, s) for s in spokes])
+        return st, hub, spokes
+
+    def test_deleting_below_high_hub_stays_balanced(self):
+        H = 3
+        st, hub, spokes = self._hub_scenario(H)
+        # attach chains under a few spokes, then delete their far edges so
+        # tokens must push upward toward the saturated hub
+        base = 100
+        extra = [(spokes[i], base + i) for i in range(4)]
+        st.insert_batch(extra)
+        st.check_invariants()
+        st.delete_batch(extra)
+        st.check_invariants()
+
+    def test_mass_deletion_through_saturated_region(self):
+        H = 2
+        st = BalancedOrientation(H=H)
+        from repro.graphs.generators import clique
+
+        _, edges = clique(9)
+        st.insert_batch(edges)
+        st.check_invariants()
+        # delete half the clique edge by edge: every deletion pushes
+        # tokens around the saturated zone
+        for e in edges[: len(edges) // 2]:
+            st.delete_batch([e])
+            st.check_invariants()

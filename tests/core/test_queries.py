@@ -1,0 +1,126 @@
+"""Tests for the query layer: k-cores, dense witnesses, pseudoforests."""
+
+import pytest
+
+from repro.baselines import core_numbers, exact_density
+from repro.config import Constants
+from repro.core import (
+    CorenessMonitor,
+    DensityEstimator,
+    extract_dense_set,
+    pseudoforest_decomposition,
+)
+from repro.graphs import DynamicGraph, generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def planted_monitor():
+    n, edges = gen.planted_dense(36, block=10, p_in=1.0, out_edges=25, seed=30)
+    mon = CorenessMonitor(n, eps=0.4, constants=SMALL, seed=30)
+    mon.insert_batch(edges)
+    return mon, n, edges
+
+
+class TestCorenessMonitor:
+    def test_membership_separates_block_from_sea(self):
+        mon, n, edges = planted_monitor()
+        core9ish = mon.vertices_with_core_at_least(4)
+        assert set(range(10)) <= core9ish
+        # the sparse sea (core <= 2) stays out
+        exact = core_numbers(mon.graph)
+        sea = {v for v in mon.graph.touched_vertices() if exact.get(v, 0) <= 1}
+        assert not (sea & core9ish)
+
+    def test_core_subgraph_contains_block_edges(self):
+        mon, n, edges = planted_monitor()
+        sub = mon.core_subgraph(4)
+        block_edges = {e for e in edges if e[0] < 10 and e[1] < 10}
+        assert block_edges <= sub.edges
+
+    def test_connected_k_cores_of_two_cliques(self):
+        mon = CorenessMonitor(40, eps=0.4, constants=SMALL)
+        _, c1 = gen.clique(7, offset=0)
+        _, c2 = gen.clique(7, offset=20)
+        mon.insert_batch(c1 + c2)
+        comps = mon.connected_k_cores(3)
+        assert len(comps) == 2
+        assert {frozenset(c) for c in comps} == {
+            frozenset(range(7)),
+            frozenset(range(20, 27)),
+        }
+
+    def test_hierarchy_is_nested(self):
+        mon, n, edges = planted_monitor()
+        levels = mon.hierarchy()
+        for (l1, s1), (l2, s2) in zip(levels, levels[1:]):
+            assert l1 < l2
+            assert s2 <= s1
+
+    def test_deletion_shrinks_core(self):
+        mon, n, edges = planted_monitor()
+        before = mon.vertices_with_core_at_least(4)
+        block_edges = [e for e in edges if e[0] < 10 and e[1] < 10]
+        mon.delete_batch(block_edges)
+        after = mon.vertices_with_core_at_least(4)
+        assert len(after) < len(before)
+
+    def test_updates_validated_through_mirror(self):
+        from repro.errors import BatchError
+
+        mon = CorenessMonitor(8, eps=0.4, constants=SMALL)
+        mon.insert_batch([(0, 1)])
+        with pytest.raises(BatchError):
+            mon.insert_batch([(1, 0)])
+
+
+class TestDenseWitness:
+    def test_witness_finds_planted_block(self):
+        n, edges = gen.planted_dense(36, block=10, p_in=1.0, out_edges=20, seed=31)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL, seed=31)
+        de.insert_batch(edges)
+        witness = extract_dense_set(de)
+        g = DynamicGraph(n, edges)
+        rho = exact_density(g)
+        assert witness
+        assert g.density_of(witness) >= rho / 4  # a constant-factor witness
+
+    def test_witness_on_sparse_graph(self):
+        n, edges = gen.path(12)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL)
+        de.insert_batch(edges)
+        witness = extract_dense_set(de)
+        assert witness  # nonempty even when everything is sparse
+
+    def test_empty_structure(self):
+        de = DensityEstimator(8, eps=0.4, constants=SMALL)
+        de.insert_batch([])
+        assert extract_dense_set(de) == set()
+
+
+class TestPseudoforests:
+    def test_partition_covers_each_edge_once(self):
+        n, edges = gen.erdos_renyi(24, 60, seed=32)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL, seed=32)
+        de.insert_batch(edges)
+        parts = pseudoforest_decomposition(de)
+        covered = []
+        for part in parts:
+            for v, w in part.items():
+                covered.append(tuple(sorted((v, w))))
+        assert sorted(covered) == sorted(edges)
+
+    def test_each_part_is_functional(self):
+        n, edges = gen.grid(4, 5)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL)
+        de.insert_batch(edges)
+        for part in pseudoforest_decomposition(de):
+            assert len(part) == len(set(part))  # dict: one successor per vertex
+
+    def test_part_count_equals_max_outdegree(self):
+        n, edges = gen.cycle(10)
+        de = DensityEstimator(n, eps=0.4, constants=SMALL)
+        de.insert_batch(edges)
+        parts = pseudoforest_decomposition(de)
+        assert len(parts) == de.max_outdegree()

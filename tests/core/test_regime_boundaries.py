@@ -1,0 +1,98 @@
+"""Boundary cases of the Theorem 5.1/5.2 regime selection.
+
+The estimators switch implementation exactly at ``H == B`` (coreness:
+duplication vs sampling) and ``H == B / eps`` (density: duplication vs
+buckets).  These tests pin behaviour on and around the seams, plus the
+properties each regime must preserve across the switch.
+"""
+
+import pytest
+
+from repro.config import Constants
+from repro.core import FixedHCorenessEstimator, FixedHDensityGuard
+from repro.graphs import generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+EPS = 0.4
+
+
+def B_for(n):
+    return SMALL.B(n, EPS)
+
+
+class TestCorenessSeam:
+    def test_exactly_B_uses_duplication(self):
+        n = 64
+        B = B_for(n)
+        est = FixedHCorenessEstimator(H=B, eps=EPS, n=n, constants=SMALL)
+        assert est.regime == "duplication"
+        assert est.K == 1  # ceil(B/H) = 1 at the seam
+
+    def test_just_above_B_uses_sampling(self):
+        n = 64
+        B = B_for(n)
+        est = FixedHCorenessEstimator(H=B + 1, eps=EPS, n=n, constants=SMALL)
+        assert est.regime == "sampling"
+        assert 0 < est.sampler.p < 1
+
+    def test_both_sides_give_similar_answers_on_same_graph(self):
+        n, edges = gen.planted_dense(64, block=12, p_in=1.0, out_edges=30, seed=90)
+        B = B_for(n)
+        below = FixedHCorenessEstimator(H=B, eps=EPS, n=n, constants=SMALL, seed=1)
+        above = FixedHCorenessEstimator(H=B + 2, eps=EPS, n=n, constants=SMALL, seed=1)
+        below.insert_batch(edges)
+        above.insert_batch(edges)
+        for v in range(12):
+            lo, hi = sorted((below.estimate(v), above.estimate(v)))
+            assert hi <= 6 * lo + 6  # no cliff at the seam
+
+    def test_sampling_probability_shrinks_with_h(self):
+        n = 64
+        a = FixedHCorenessEstimator(H=100, eps=EPS, n=n, constants=SMALL)
+        b = FixedHCorenessEstimator(H=1000, eps=EPS, n=n, constants=SMALL)
+        assert b.sampler.p < a.sampler.p
+
+
+class TestDensitySeam:
+    def test_below_seam_duplicates_with_odd_k(self):
+        n = 64
+        guard = FixedHDensityGuard(H=2, eps=EPS, n=n, constants=SMALL)
+        assert guard.regime == "duplication"
+        assert guard.K % 2 == 1
+
+    def test_above_seam_buckets(self):
+        n = 64
+        B = B_for(n)
+        H = int(B / EPS) + 2
+        guard = FixedHDensityGuard(H=H, eps=EPS, n=n, constants=SMALL)
+        assert guard.regime == "buckets"
+        assert guard.H_adj >= H
+
+    def test_bucket_count_grows_with_h(self):
+        n = 64
+        g1 = FixedHDensityGuard(H=100, eps=EPS, n=n, constants=SMALL)
+        g2 = FixedHDensityGuard(H=400, eps=EPS, n=n, constants=SMALL)
+        if g1.regime == "buckets" and g2.regime == "buckets":
+            assert g2.T > g1.T
+
+    def test_verdict_consistent_across_seam(self):
+        # a sparse graph must be "low" in both regimes
+        n, edges = gen.grid(6, 6)
+        B = B_for(36)
+        for H in (max(2, int(B / EPS) - 1), int(B / EPS) + 2):
+            guard = FixedHDensityGuard(H=H, eps=EPS, n=36, constants=SMALL)
+            guard.insert_batch(edges)
+            assert guard.verdict() == "low", (H, guard.regime)
+
+
+class TestDuplicationCapBehaviour:
+    def test_cap_respected_even_for_tiny_h(self):
+        est = FixedHCorenessEstimator(H=1, eps=0.2, n=256, constants=SMALL)
+        assert est.K <= SMALL.duplication_cap
+
+    def test_raising_cap_raises_k(self):
+        big = Constants(sample_c=0.5, min_B=4, duplication_cap=32)
+        a = FixedHCorenessEstimator(H=1, eps=0.2, n=256, constants=SMALL)
+        b = FixedHCorenessEstimator(H=1, eps=0.2, n=256, constants=big)
+        assert b.K >= a.K

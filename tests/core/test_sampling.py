@@ -1,0 +1,88 @@
+"""Tests for edge sampling + Appendix A concentration (Lemmas A.1–A.4)."""
+
+import pytest
+
+from repro.baselines import core_numbers, exact_density, arboricity
+from repro.core import EdgeSampler, expected_band, sample_graph
+from repro.errors import ParameterError
+from repro.graphs import DynamicGraph, generators as gen
+
+
+class TestSampler:
+    def test_deterministic_per_edge(self):
+        s = EdgeSampler(0.5, seed=1)
+        assert s.keeps(3, 7) == s.keeps(7, 3)
+        assert all(s.keeps(1, 2) == s.keeps(1, 2) for _ in range(5))
+
+    def test_extremes(self):
+        assert EdgeSampler(1.0).keeps(0, 1)
+        assert not EdgeSampler(0.0).keeps(0, 1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            EdgeSampler(1.5)
+
+    def test_rate_roughly_p(self):
+        s = EdgeSampler(0.3, seed=2)
+        kept = sum(1 for u in range(100) for v in range(u + 1, 100) if s.keeps(u, v))
+        total = 100 * 99 // 2
+        assert 0.25 < kept / total < 0.35
+
+    def test_different_seeds_differ(self):
+        a = EdgeSampler(0.5, seed=1)
+        b = EdgeSampler(0.5, seed=2)
+        edges = [(u, u + 1 + k) for u in range(50) for k in range(3)]
+        assert a.filter(edges) != b.filter(edges)
+
+    def test_filter_canonicalizes(self):
+        s = EdgeSampler(1.0)
+        assert s.filter([(5, 2)]) == [(2, 5)]
+
+
+class TestSampleGraph:
+    def test_subset_of_original(self):
+        n, edges = gen.erdos_renyi(40, 200, seed=3)
+        g = DynamicGraph(n, edges)
+        gp = sample_graph(g, 0.4, seed=4)
+        assert gp.edges <= g.edges
+        assert gp.n == g.n
+
+
+class TestConcentration:
+    """Empirical versions of Lemmas A.1–A.4 at a generous slack constant."""
+
+    def test_coreness_concentrates(self):
+        n, edges = gen.planted_dense(80, block=30, p_in=0.9, seed=5)
+        g = DynamicGraph(n, edges)
+        core = max(core_numbers(g).values())
+        p = 0.5
+        for seed in range(3):
+            gp = sample_graph(g, p, seed=seed)
+            sampled_core = max(core_numbers(gp).values(), default=0)
+            band = expected_band(core, p, eps=0.5, n=n, c=2.0)
+            assert band.contains(sampled_core)
+
+    def test_density_concentrates(self):
+        n, edges = gen.planted_dense(60, block=25, p_in=1.0, seed=6)
+        g = DynamicGraph(n, edges)
+        rho = exact_density(g)
+        p = 0.5
+        for seed in range(3):
+            gp = sample_graph(g, p, seed=seed)
+            band = expected_band(rho, p, eps=0.5, n=n, c=2.0)
+            assert band.contains(exact_density(gp))
+
+    def test_arboricity_concentrates(self):
+        n, edges = gen.clique(12)
+        g = DynamicGraph(n, edges)
+        lam = arboricity(g)
+        p = 0.5
+        for seed in range(2):
+            gp = sample_graph(g, p, seed=seed)
+            band = expected_band(lam, p, eps=0.5, n=n, c=2.0)
+            assert band.contains(arboricity(gp))
+
+    def test_band_contains(self):
+        band = expected_band(10, 0.5, eps=0.5, n=16, c=1.0)
+        assert band.contains(5.0)
+        assert not band.contains(100.0)

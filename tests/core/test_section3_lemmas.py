@@ -1,0 +1,102 @@
+"""Direct empirical checks of the Section 3 relations.
+
+These are the paper's bridge lemmas between balanced orientations and the
+density measures; the estimator-level tests exercise them indirectly,
+these test them *as stated* on concrete balanced orientations.
+
+* Lemma 3.2: for a balanced orientation,
+  ``rho(G) <= max d+ <= (1 + eps/2) rho(G) + 4 log n / eps``.
+* Corollary 3.3: ``lambda/2 <= max d+`` and the same upper envelope.
+* Lemma 3.4 / 3.5: for an H-balanced orientation and vertices below the
+  truncation, ``d+(v)`` sandwiches ``core(v)`` up to the (1/2-eps, 2+eps)
+  factors and the additive ``2 log n / eps`` slack.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import arboricity, core_numbers, exact_density
+from repro.core import BalancedOrientation
+from repro.graphs import DynamicGraph, generators as gen
+
+EPS = 0.5
+
+
+def balanced_structure(edges, H):
+    st = BalancedOrientation(H=H)
+    st.insert_batch(edges)
+    return st
+
+
+def slack(n):
+    return 4 * math.log2(max(n, 2)) / EPS
+
+
+CASES = [
+    ("er", lambda: gen.erdos_renyi(40, 160, seed=80)),
+    ("planted", lambda: gen.planted_dense(40, block=12, p_in=1.0, out_edges=30, seed=81)),
+    ("ba", lambda: gen.barabasi_albert(40, 3, seed=82)),
+]
+
+
+class TestLemma32Density:
+    @pytest.mark.parametrize("name,make", CASES)
+    def test_max_outdegree_sandwiches_density(self, name, make):
+        n, edges = make()
+        # H = n makes the orientation effectively untruncated (balanced)
+        st = balanced_structure(edges, H=n)
+        rho = exact_density(DynamicGraph(n, edges))
+        mx = st.max_outdegree()
+        assert mx >= math.floor(rho), f"{name}: max d+ {mx} below rho {rho}"
+        assert mx <= (1 + EPS / 2) * rho + slack(n)
+
+
+class TestCorollary33Arboricity:
+    @pytest.mark.parametrize("name,make", CASES[:2])
+    def test_max_outdegree_vs_arboricity(self, name, make):
+        n, edges = make()
+        st = balanced_structure(edges, H=n)
+        lam = arboricity(DynamicGraph(n, edges))
+        mx = st.max_outdegree()
+        assert mx >= lam / 2 - 1
+        assert mx <= (1 + EPS) * lam + slack(n)
+
+
+class TestLemmas34_35Coreness:
+    @pytest.mark.parametrize("H", [8, 16])
+    def test_outdegree_sandwiches_coreness_below_truncation(self, H):
+        n, edges = gen.planted_dense(40, block=10, p_in=1.0, out_edges=30, seed=83)
+        st = balanced_structure(edges, H=H)
+        cores = core_numbers(DynamicGraph(n, edges))
+        add = 2 * math.log2(n) / EPS
+        for v in range(n):
+            d = st.outdegree(v)
+            c = cores.get(v, 0)
+            if d < H - add:  # the lemmas' applicability condition
+                # Lemma 3.4 lower, Lemma 3.5 upper
+                assert d >= (0.5 - EPS) * c - add
+                assert d <= (2 + EPS) * c + add
+
+    def test_saturated_vertices_certify_high_core(self):
+        # Lemma 3.5 second case: d+ near H forces core >= (H - slack)/(2+eps)
+        n, edges = gen.clique(14)  # core 13 everywhere
+        H = 5
+        st = balanced_structure(edges, H=H)
+        add = 2 * math.log2(n) / EPS
+        cores = core_numbers(DynamicGraph(n, edges))
+        for v in range(n):
+            if st.outdegree(v) >= H - add:
+                assert cores[v] >= (H - 2 * add) / (2 + EPS)
+
+
+class TestBalancednessIsTheDriver:
+    def test_unbalanced_orientation_breaks_the_sandwich(self):
+        """Sanity: the lemmas are about *balanced* orientations — a skewed
+        orientation of the same graph violates the upper envelope, so the
+        tests above are not vacuous."""
+        n, edges = gen.star(300)
+        # orient everything out of the hub: max d+ = 300 >> rho ~ 1
+        hub_out = 300
+        rho = exact_density(DynamicGraph(n, edges))
+        assert hub_out > (1 + EPS / 2) * rho + slack(n)

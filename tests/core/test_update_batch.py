@@ -1,0 +1,85 @@
+"""Tests for the mixed-batch convenience API (deletions, then insertions)."""
+
+import pytest
+
+from repro.config import Constants
+from repro.core import (
+    BalancedOrientation,
+    CorenessDecomposition,
+    CorenessMonitor,
+    DensityEstimator,
+)
+from repro.errors import BatchError
+from repro.graphs import generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+class TestBalancedUpdateBatch:
+    def test_mixed_batch(self):
+        st = BalancedOrientation(H=4)
+        st.insert_batch([(0, 1), (1, 2), (2, 3)])
+        st.update_batch(insertions=[(3, 4)], deletions=[(0, 1)])
+        st.check_invariants()
+        assert st.has_edge(3, 4)
+        assert not st.has_edge(0, 1)
+
+    def test_delete_then_reinsert_same_edge(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(5, 6)])
+        st.update_batch(insertions=[(5, 6)], deletions=[(5, 6)])
+        st.check_invariants()
+        assert st.has_edge(5, 6)
+
+    def test_insert_only_and_delete_only_forms(self):
+        st = BalancedOrientation(H=3)
+        st.update_batch(insertions=[(0, 1)])
+        st.update_batch(deletions=[(0, 1)])
+        st.check_invariants()
+        assert st.num_arcs() == 0
+
+    def test_empty_mixed_batch_is_noop(self):
+        st = BalancedOrientation(H=3)
+        st.update_batch()
+        st.check_invariants()
+
+    def test_journals_merged(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(0, 1), (1, 2)])
+        st.update_batch(insertions=[(2, 3)], deletions=[(0, 1)])
+        assert any(a[:2] in (((2, 3)), (3, 2)) or set(a[:2]) == {2, 3}
+                   for a in st.last_inserted)
+        assert any(set(a[:2]) == {0, 1} for a in st.last_deleted)
+
+    def test_insertion_validated_after_deletions(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(0, 1)])
+        # inserting a live edge still fails even in mixed form
+        with pytest.raises(BatchError):
+            st.update_batch(insertions=[(0, 1)], deletions=[])
+
+
+class TestLadderUpdateBatch:
+    def test_coreness_ladder(self):
+        cd = CorenessDecomposition(16, eps=0.4, constants=SMALL)
+        _, edges = gen.clique(6)
+        cd.update_batch(insertions=edges)
+        hi = cd.estimate(0)
+        cd.update_batch(deletions=edges[:10])
+        assert cd.estimate(0) <= hi
+
+    def test_density_ladder(self):
+        de = DensityEstimator(16, eps=0.4, constants=SMALL)
+        de.update_batch(insertions=[(0, 1), (1, 2)])
+        assert de.density_estimate() >= 1.0
+        de.update_batch(deletions=[(0, 1)], insertions=[(2, 3)])
+        de.check_invariants()
+
+    def test_monitor(self):
+        mon = CorenessMonitor(16, eps=0.4, constants=SMALL)
+        _, edges = gen.cycle(8)
+        mon.update_batch(insertions=edges)
+        assert mon.graph.m == 8
+        mon.update_batch(deletions=edges[:4])
+        assert mon.graph.m == 4

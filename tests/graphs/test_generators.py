@@ -1,0 +1,130 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs import DynamicGraph, generators as gen
+
+
+def assert_simple(n, edges):
+    seen = set()
+    for u, v in edges:
+        assert 0 <= u < v < n
+        assert (u, v) not in seen
+        seen.add((u, v))
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        n, edges = gen.erdos_renyi(50, 100, seed=1)
+        assert len(edges) == 100
+        assert_simple(n, edges)
+
+    def test_deterministic_per_seed(self):
+        assert gen.erdos_renyi(30, 60, seed=5) == gen.erdos_renyi(30, 60, seed=5)
+        assert gen.erdos_renyi(30, 60, seed=5) != gen.erdos_renyi(30, 60, seed=6)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ParameterError):
+            gen.erdos_renyi(4, 7)
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        n, edges = gen.barabasi_albert(100, 3, seed=2)
+        assert n == 100
+        assert_simple(n, edges)
+        # each of the n - m_attach arrivals adds <= m_attach edges
+        assert len(edges) <= 97 * 3
+
+    def test_skewed_degrees(self):
+        n, edges = gen.barabasi_albert(200, 2, seed=3)
+        g = DynamicGraph(n, edges)
+        degrees = sorted((g.degree(v) for v in range(n)), reverse=True)
+        assert degrees[0] >= 3 * degrees[n // 2]
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            gen.barabasi_albert(5, 5)
+        with pytest.raises(ParameterError):
+            gen.barabasi_albert(5, 0)
+
+
+class TestRmat:
+    def test_shape(self):
+        n, edges = gen.rmat(7, 200, seed=4)
+        assert n == 128
+        assert_simple(n, edges)
+        assert len(edges) <= 200
+
+    def test_invalid_probs(self):
+        with pytest.raises(ParameterError):
+            gen.rmat(4, 10, a=0.5, b=0.4, c=0.3)
+
+
+class TestPlantedDense:
+    def test_block_is_dense(self):
+        n, edges = gen.planted_dense(100, block=12, p_in=1.0, out_edges=30, seed=5)
+        g = DynamicGraph(n, edges)
+        block_m = sum(1 for (u, v) in edges if u < 12 and v < 12)
+        assert block_m == 12 * 11 // 2
+        assert g.density_of(range(12)) == 11 / 2
+
+    def test_out_edges_avoid_block_interior(self):
+        n, edges = gen.planted_dense(50, block=10, p_in=0.0, out_edges=20, seed=6)
+        assert all(not (u < 10 and v < 10) for u, v in edges)
+        assert len(edges) == 20
+
+    def test_block_too_big(self):
+        with pytest.raises(ParameterError):
+            gen.planted_dense(5, block=6)
+
+
+class TestDeterministicFamilies:
+    def test_clique(self):
+        n, edges = gen.clique(5)
+        assert n == 5 and len(edges) == 10
+
+    def test_clique_offset(self):
+        n, edges = gen.clique(3, offset=10)
+        assert n == 13
+        assert all(u >= 10 and v >= 10 for u, v in edges)
+
+    def test_star(self):
+        n, edges = gen.star(4)
+        assert len(edges) == 4
+        assert all(0 in e for e in edges)
+
+    def test_path_cycle(self):
+        assert len(gen.path(5)[1]) == 4
+        assert len(gen.cycle(5)[1]) == 5
+        with pytest.raises(ParameterError):
+            gen.cycle(2)
+
+    def test_grid(self):
+        n, edges = gen.grid(3, 4)
+        assert n == 12
+        assert len(edges) == 3 * 3 + 2 * 4
+
+    def test_complete_bipartite(self):
+        n, edges = gen.complete_bipartite(3, 4)
+        assert n == 7 and len(edges) == 12
+        assert all(u < 3 <= v for u, v in edges)
+
+
+class TestRandomForest:
+    def test_is_forest(self):
+        import networkx as nx
+
+        n, edges = gen.random_forest(60, trees=4, seed=7)
+        assert len(edges) == 60 - 4
+        g = DynamicGraph(n, edges).to_networkx()
+        assert nx.is_forest(g)
+
+    def test_single_tree(self):
+        n, edges = gen.random_forest(20, trees=1, seed=8)
+        assert len(edges) == 19
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            gen.random_forest(5, trees=6)

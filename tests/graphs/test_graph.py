@@ -1,0 +1,94 @@
+"""Tests for the ground-truth dynamic graph and batch validation."""
+
+import pytest
+
+from repro.errors import BatchError
+from repro.graphs import DynamicGraph, norm_edge, normalize_batch
+
+
+class TestNormEdge:
+    def test_orders_endpoints(self):
+        assert norm_edge(5, 2) == (2, 5)
+        assert norm_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(BatchError):
+            norm_edge(3, 3)
+
+
+class TestNormalizeBatch:
+    def test_canonicalizes(self):
+        assert normalize_batch([(3, 1), (2, 4)]) == [(1, 3), (2, 4)]
+
+    def test_rejects_duplicates_in_batch(self):
+        with pytest.raises(BatchError):
+            normalize_batch([(1, 2), (2, 1)])
+
+
+class TestInsertDelete:
+    def test_insert_batch(self):
+        g = DynamicGraph(5)
+        g.insert_batch([(0, 1), (1, 2)])
+        assert g.m == 2
+        assert g.has_edge(1, 0)
+        assert g.degree(1) == 2
+
+    def test_insert_existing_raises(self):
+        g = DynamicGraph(3, [(0, 1)])
+        with pytest.raises(BatchError):
+            g.insert_batch([(1, 0)])
+
+    def test_delete_batch(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2)])
+        g.delete_batch([(0, 1)])
+        assert g.m == 1
+        assert not g.has_edge(0, 1)
+
+    def test_delete_absent_raises(self):
+        g = DynamicGraph(3)
+        with pytest.raises(BatchError):
+            g.delete_batch([(0, 1)])
+
+    def test_n_grows_with_vertices(self):
+        g = DynamicGraph(0)
+        g.insert_batch([(10, 20)])
+        assert g.n == 21
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(BatchError):
+            DynamicGraph(-1)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = DynamicGraph(4, [(0, 1), (0, 2)])
+        assert g.neighbors(0) == {1, 2}
+        assert g.neighbors(3) == set()
+
+    def test_touched_vertices(self):
+        g = DynamicGraph(10, [(1, 2)])
+        assert g.touched_vertices() == {1, 2}
+
+    def test_copy_is_independent(self):
+        g = DynamicGraph(3, [(0, 1)])
+        h = g.copy()
+        h.insert_batch([(1, 2)])
+        assert g.m == 1 and h.m == 2
+
+    def test_subgraph(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2), (2, 3)])
+        s = g.subgraph([1, 2])
+        assert s.m == 1
+        assert s.has_edge(1, 2)
+
+    def test_density_of(self):
+        g = DynamicGraph(4, [(0, 1), (1, 2), (0, 2)])
+        assert g.density_of([0, 1, 2]) == 1.0
+        with pytest.raises(BatchError):
+            g.density_of([])
+
+    def test_to_networkx_roundtrip(self):
+        g = DynamicGraph(4, [(0, 1), (2, 3)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_edges() == 2
+        assert nxg.number_of_nodes() == 4

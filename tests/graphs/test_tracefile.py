@@ -1,0 +1,74 @@
+"""Tests for the on-disk trace format."""
+
+import pytest
+
+from repro.errors import BatchError
+from repro.graphs import generators as gen, streams
+from repro.graphs.streams import BatchOp
+from repro.graphs.tracefile import read_trace, validate_trace, write_trace
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        _, edges = gen.clique(5)
+        ops = streams.insert_then_delete(edges, 4, seed=1)
+        path = tmp_path / "t.txt"
+        count = write_trace(ops, path)
+        assert count == len(ops)
+        assert read_trace(path) == ops
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_trace([], path)
+        assert read_trace(path) == []
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\nI 0 1\n  # mid\nD 1 0\n")
+        ops = read_trace(path)
+        assert [op.kind for op in ops] == ["insert", "delete"]
+        assert ops[0].edges == ((0, 1),)
+
+    def test_edges_canonicalized(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_text("I 5 2\n")
+        assert read_trace(path)[0].edges == ((2, 5),)
+
+
+class TestErrors:
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("Q 0 1\n")
+        with pytest.raises(BatchError):
+            read_trace(path)
+
+    def test_odd_endpoints(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("I 0 1 2\n")
+        with pytest.raises(BatchError):
+            read_trace(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("I a b\n")
+        with pytest.raises(BatchError):
+            read_trace(path)
+
+
+class TestValidate:
+    def test_valid_stream_reports_n(self):
+        ops = [BatchOp("insert", ((0, 9),)), BatchOp("delete", ((0, 9),))]
+        assert validate_trace(ops) == 10
+
+    def test_insert_live_edge_rejected(self):
+        ops = [BatchOp("insert", ((0, 1),)), BatchOp("insert", ((0, 1),))]
+        with pytest.raises(BatchError):
+            validate_trace(ops)
+
+    def test_delete_absent_rejected(self):
+        with pytest.raises(BatchError):
+            validate_trace([BatchOp("delete", ((0, 1),))])
+
+    def test_duplicate_within_batch_rejected(self):
+        with pytest.raises(BatchError):
+            validate_trace([BatchOp("insert", ((0, 1), (0, 1)))])

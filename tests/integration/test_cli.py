@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerate:
+    def test_insert_only(self, tmp_path, capsys):
+        out = tmp_path / "t.txt"
+        rc = main(
+            [
+                "generate", "--family", "er", "--n", "20", "--m", "40",
+                "--pattern", "insert-only", "--batch-size", "10",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "wrote 4 batches" in capsys.readouterr().out
+
+    def test_churn_pattern(self, tmp_path):
+        out = tmp_path / "c.txt"
+        rc = main(
+            [
+                "generate", "--pattern", "churn", "--n", "20",
+                "--steps", "15", "--batch-size", "5", "--out", str(out),
+            ]
+        )
+        assert rc == 0
+
+    def test_planted_family(self, tmp_path):
+        out = tmp_path / "p.txt"
+        rc = main(
+            [
+                "generate", "--family", "planted", "--n", "24", "--m", "60",
+                "--pattern", "insert-delete", "--batch-size", "12",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+
+
+@pytest.fixture
+def small_trace(tmp_path):
+    out = tmp_path / "trace.txt"
+    main(
+        [
+            "generate", "--family", "er", "--n", "16", "--m", "30",
+            "--pattern", "insert-only", "--batch-size", "15", "--out", str(out),
+        ]
+    )
+    return out
+
+
+class TestRun:
+    def test_both_modes(self, small_trace, capsys):
+        rc = main(["run", "--trace", str(small_trace), "--mode", "both", "--eps", "0.4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rho_alg" in out
+        assert "max core_alg" in out
+        assert "work/edge" in out
+
+    def test_coreness_only(self, small_trace, capsys):
+        rc = main(["run", "--trace", str(small_trace), "--mode", "coreness", "--eps", "0.4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rho_alg" not in out
+
+
+class TestExact:
+    def test_reports_exact_measures(self, small_trace, capsys):
+        rc = main(["exact", "--trace", str(small_trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "max coreness" in out
+        assert "exact rho" in out

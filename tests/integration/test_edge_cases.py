@@ -1,0 +1,140 @@
+"""Edge-case sweep across the public API surface."""
+
+import pytest
+
+from repro.apps import ImplicitColoring, MaximalMatching
+from repro.config import Constants, ladder_heights
+from repro.core import (
+    BalancedOrientation,
+    CorenessDecomposition,
+    DensityEstimator,
+    DuplicatedBalanced,
+    LowOutDegree,
+)
+from repro.errors import BatchError, ParameterError
+from repro.graphs import DynamicGraph, generators as gen
+
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+class TestSparseVertexIds:
+    """Vertex ids need not be dense 0..n-1."""
+
+    def test_balanced_with_huge_ids(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(10**9, 10**9 + 1), (10**9 + 1, 5)])
+        st.check_invariants()
+        st.delete_batch([(10**9, 10**9 + 1)])
+        st.check_invariants()
+
+    def test_coreness_with_scattered_ids(self):
+        cd = CorenessDecomposition(2048, eps=0.4, constants=SMALL)
+        cd.insert_batch([(7, 2000), (2000, 1234)])
+        assert cd.estimate(2000) >= 1.0
+
+
+class TestSingletonAndTiny:
+    def test_single_edge_everything(self):
+        st = BalancedOrientation(H=1)
+        st.insert_batch([(0, 1)])
+        st.check_invariants()
+        assert st.max_outdegree() == 1
+        st.delete_batch([(0, 1)])
+        assert st.max_outdegree() == 0
+
+    def test_h_equals_one_on_cycle(self):
+        n, edges = gen.cycle(6)
+        st = BalancedOrientation(H=1)
+        st.insert_batch(edges)
+        st.check_invariants()
+
+    def test_two_vertex_density(self):
+        de = DensityEstimator(4, eps=0.4, constants=SMALL)
+        de.insert_batch([(0, 1)])
+        assert de.density_estimate() >= 0.5
+
+    def test_ladder_on_tiny_n(self):
+        assert ladder_heights(2, 0.5)[0] == 1
+        cd = CorenessDecomposition(2, eps=0.5, constants=SMALL)
+        cd.insert_batch([(0, 1)])
+        assert cd.estimate(0) >= 1.0
+
+
+class TestRepeatedBatchBoundaries:
+    def test_insert_delete_same_edge_many_times(self):
+        st = BalancedOrientation(H=2)
+        for _ in range(10):
+            st.insert_batch([(3, 4)])
+            st.delete_batch([(3, 4)])
+        st.check_invariants()
+        assert st.num_arcs() == 0
+
+    def test_alternating_on_dup_structure(self):
+        d = DuplicatedBalanced(inner_H=6, K=3)
+        for _ in range(4):
+            d.insert_batch([(0, 1)])
+            d.delete_batch([(0, 1)])
+        d.check_invariants()
+
+    def test_lowoutdegree_alternation(self):
+        lod = LowOutDegree(3, 0.4, 8, constants=SMALL)
+        for _ in range(4):
+            lod.insert_batch([(0, 1), (1, 2)])
+            lod.delete_batch([(0, 1), (1, 2)])
+            lod.check_invariants()
+        assert lod.max_outdegree() == 0
+
+
+class TestValidationMessages:
+    def test_balanced_reports_offending_edge(self):
+        st = BalancedOrientation(H=3)
+        st.insert_batch([(0, 1)])
+        with pytest.raises(BatchError, match=r"\(0, 1\)"):
+            st.insert_batch([(1, 0)])
+
+    def test_matching_rejects_bad_rho(self):
+        mm = MaximalMatching(0, 8, constants=SMALL)  # clamped to 1
+        assert mm.rho_max == 1
+
+    def test_duplicated_validates_multi_batch(self):
+        d = DuplicatedBalanced(inner_H=4, K=2)
+        d.insert_batch([(0, 1)])
+        with pytest.raises(BatchError):
+            d.inner.insert_multi_batch([(0, 1, 0)])
+
+
+class TestImplicitColoringConsistency:
+    def test_separate_queries_agree(self):
+        ic = ImplicitColoring(20, eps=0.4, constants=SMALL, seed=70)
+        n, edges = gen.grid(4, 5)
+        ic.insert_batch(edges)
+        first = ic.query([0, 5, 10])
+        second = ic.query([5])
+        assert first[5] == second[5]
+
+    def test_queries_reflect_updates(self):
+        ic = ImplicitColoring(12, eps=0.4, constants=SMALL, seed=71)
+        ic.insert_batch([(0, 1)])
+        a = ic.query([0, 1])
+        assert a[0] != a[1]
+        ic.insert_batch([(1, 2), (0, 2)])
+        b = ic.query([0, 1, 2])
+        assert len({b[0], b[1], b[2]}) == 3
+
+
+class TestCliErrorPaths:
+    def test_verify_reports_ok_exit_code(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "t.txt"
+        trace.write_text("I 0 1 1 2\nD 0 1\n")
+        assert main(["verify", "--trace", str(trace)]) == 0
+
+    def test_malformed_trace_raises(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "bad.txt"
+        trace.write_text("I 0\n")
+        with pytest.raises(BatchError):
+            main(["run", "--trace", str(trace)])

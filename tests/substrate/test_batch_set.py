@@ -1,0 +1,72 @@
+"""Tests for the batch ordered set (the [PP01] substitute)."""
+
+import pytest
+
+from repro.instrument import CostModel
+from repro.pbst import BatchOrderedSet
+
+
+class TestBatchOps:
+    def test_batch_insert_counts_new(self):
+        s = BatchOrderedSet()
+        assert s.batch_insert([3, 1, 2]) == 3
+        assert s.batch_insert([2, 4]) == 1
+        assert len(s) == 4
+
+    def test_batch_delete_counts_removed(self):
+        s = BatchOrderedSet(items=[1, 2, 3])
+        assert s.batch_delete([2, 9]) == 1
+        assert len(s) == 2
+
+    def test_initial_items(self):
+        s = BatchOrderedSet(items=[5, 3])
+        assert s.to_list() == [3, 5]
+
+    def test_order_maintained(self):
+        s = BatchOrderedSet()
+        s.batch_insert([9, 1, 5])
+        s.batch_insert([3, 7])
+        assert s.to_list() == [1, 3, 5, 7, 9]
+
+    def test_queries(self):
+        s = BatchOrderedSet(items=[10, 20, 30])
+        assert 20 in s
+        assert 25 not in s
+        assert s.rank(25) == 2
+        assert s.select(0) == 10
+        assert s.min() == 10
+        assert s.max() == 30
+
+    def test_check_passes(self):
+        s = BatchOrderedSet(items=range(50))
+        s.batch_delete(range(0, 50, 3))
+        s.check()
+
+
+class TestCostAccounting:
+    def test_batch_charges_log_per_element(self):
+        cm = CostModel()
+        s = BatchOrderedSet(cm=cm)
+        s.batch_insert(range(64))
+        # 64 elements at O(log 64) work, O(log) depth for the whole batch
+        assert cm.work >= 64
+        assert cm.depth <= cm.work
+        assert cm.depth <= 12  # one batch: a single O(log n) depth charge
+
+    def test_empty_batch_charges_nothing(self):
+        cm = CostModel()
+        s = BatchOrderedSet(cm=cm)
+        s.batch_insert([])
+        assert cm.work == 0
+
+    def test_query_charges(self):
+        cm = CostModel()
+        s = BatchOrderedSet(cm=cm, items=range(32))
+        before = cm.work
+        _ = 5 in s
+        assert cm.work > before
+
+    def test_works_without_cost_model(self):
+        s = BatchOrderedSet()
+        s.batch_insert([1])
+        assert 1 in s

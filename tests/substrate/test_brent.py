@@ -1,0 +1,47 @@
+"""Tests for Brent's-principle projections."""
+
+import pytest
+
+from repro.instrument import parallelism, project, saturation_processors
+
+
+class TestProject:
+    def test_single_processor_equals_work(self):
+        (pt,) = project(1000, 10, [1])
+        assert pt.time_lower == 1000
+        assert pt.time_upper == 1010
+
+    def test_speedup_bounded_by_parallelism(self):
+        pts = project(10_000, 100, [1, 10, 100, 1000])
+        ceiling = parallelism(10_000, 100)
+        for pt in pts:
+            assert pt.speedup_upper <= ceiling + 1e-9
+            assert pt.speedup_lower <= pt.speedup_upper
+
+    def test_depth_floor(self):
+        (pt,) = project(1000, 50, [10_000])
+        assert pt.time_lower == 50  # depth dominates
+
+    def test_monotone_speedup(self):
+        pts = project(5000, 20, [1, 2, 4, 8])
+        ups = [p.speedup_upper for p in pts]
+        assert ups == sorted(ups)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            project(10, 20, [1])  # depth > work
+        with pytest.raises(ValueError):
+            project(10, 5, [0])
+        with pytest.raises(ValueError):
+            project(-1, 0, [1])
+
+
+class TestDerived:
+    def test_parallelism(self):
+        assert parallelism(100, 10) == 10.0
+        assert parallelism(0, 0) == 1
+
+    def test_saturation(self):
+        assert saturation_processors(100, 10) == 10
+        assert saturation_processors(101, 10) == 11
+        assert saturation_processors(5, 0) == 1

@@ -1,0 +1,94 @@
+"""Tests for random hook-and-contract parallel connectivity."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import DynamicGraph, generators as gen
+from repro.instrument import CostModel
+from repro.pram import connected_components
+
+
+def components_of(g: DynamicGraph, seed=0, cm=None):
+    labels, rounds = connected_components(
+        range(g.n), neighbors=g.adj, cm=cm, seed=seed
+    )
+    groups = {}
+    for v, l in labels.items():
+        groups.setdefault(l, frozenset()), None
+        groups[l] = groups.get(l, frozenset()) | {v}
+    return {frozenset(c) for c in groups.values()}, rounds
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        n, edges = gen.erdos_renyi(80, 90, seed=seed)
+        g = DynamicGraph(n, edges)
+        ours, _ = components_of(g, seed=seed)
+        theirs = {frozenset(c) for c in nx.connected_components(g.to_networkx())}
+        assert ours == theirs
+
+    def test_empty_graph(self):
+        labels, rounds = connected_components([], neighbors={})
+        assert labels == {}
+        assert rounds == 0
+
+    def test_isolated_vertices(self):
+        labels, _ = connected_components([3, 7, 9], neighbors={})
+        assert labels == {3: 3, 7: 7, 9: 9}
+
+    def test_single_component(self):
+        n, edges = gen.clique(10)
+        g = DynamicGraph(n, edges)
+        comps, _ = components_of(g)
+        assert comps == {frozenset(range(10))}
+
+    def test_labels_are_canonical_minimums(self):
+        n, edges = gen.path(6)
+        labels, _ = connected_components(range(n), neighbors=DynamicGraph(n, edges).adj)
+        assert set(labels.values()) == {0}
+
+    def test_edges_interface(self):
+        labels, _ = connected_components([0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        assert labels[0] == labels[1] == 0
+        assert labels[2] == labels[3] == 2
+
+    def test_restricted_vertex_set_ignores_outside_edges(self):
+        # edge (1,2) leaves the set {0,1}: must not merge anything
+        labels, _ = connected_components([0, 1], edges=[(1, 2), (0, 5)])
+        assert labels == {0: 0, 1: 1}
+
+
+class TestRoundsAndCosts:
+    def test_rounds_logarithmic_on_long_path(self):
+        n, edges = gen.path(512)
+        g = DynamicGraph(n, edges)
+        _, rounds = components_of(g)
+        # BFS/propagation would need ~512 rounds; contraction needs ~log n
+        assert rounds <= 60
+
+    def test_cost_model_charged(self):
+        cm = CostModel()
+        n, edges = gen.grid(6, 6)
+        connected_components(range(n), neighbors=DynamicGraph(n, edges).adj, cm=cm)
+        assert cm.work > 0
+        assert cm.depth < cm.work
+
+    def test_deterministic_given_seed(self):
+        n, edges = gen.erdos_renyi(40, 50, seed=5)
+        g = DynamicGraph(n, edges)
+        a = components_of(g, seed=9)
+        b = components_of(g, seed=9)
+        assert a == b
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 100_000))
+def test_hypothesis_matches_networkx(seed):
+    n, edges = gen.erdos_renyi(30, 35, seed=seed)
+    g = DynamicGraph(n, edges)
+    ours, _ = components_of(g, seed=seed)
+    theirs = {frozenset(c) for c in nx.connected_components(g.to_networkx())}
+    assert ours == theirs

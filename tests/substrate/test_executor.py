@@ -1,0 +1,33 @@
+"""Tests for the serial / process execution backends."""
+
+from repro.pram import ProcessExecutor, SerialExecutor
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerial:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestProcess:
+    def test_single_worker_falls_back_to_serial(self):
+        ex = ProcessExecutor(max_workers=1)
+        assert ex.map(_square, [2, 3]) == [4, 9]
+
+    def test_single_item_avoids_pool(self):
+        ex = ProcessExecutor(max_workers=4)
+        assert ex.map(_square, [5]) == [25]
+
+    def test_pool_path(self):
+        # Runs the real pool on a picklable function (cheap items).
+        ex = ProcessExecutor(max_workers=2)
+        assert ex.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+
+    def test_default_worker_count_positive(self):
+        assert ProcessExecutor().max_workers >= 1

@@ -1,0 +1,60 @@
+"""Tests for the batch hash table (the [GMV91] substitute)."""
+
+from repro.hashtable import BatchHashTable, log_star
+from repro.instrument import CostModel
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 1
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_monotone_and_tiny(self):
+        assert log_star(2**64) <= 6
+
+
+class TestBatchTable:
+    def test_set_get_roundtrip(self):
+        t = BatchHashTable()
+        t.batch_set([(1, "a"), (2, "b")])
+        assert t.batch_get([1, 2, 3]) == ["a", "b", None]
+
+    def test_batch_get_default(self):
+        t = BatchHashTable()
+        assert t.batch_get([9], default=-1) == [-1]
+
+    def test_batch_delete_counts(self):
+        t = BatchHashTable(items={1: "x", 2: "y"})
+        assert t.batch_delete([1, 7]) == 1
+        assert 1 not in t
+        assert 2 in t
+
+    def test_overwrite(self):
+        t = BatchHashTable()
+        t.batch_set([(1, "a")])
+        t.batch_set([(1, "z")])
+        assert t.get(1) == "z"
+
+    def test_point_ops(self):
+        t = BatchHashTable()
+        t.set(5, "v")
+        assert t.get(5) == "v"
+        assert t.delete(5)
+        assert not t.delete(5)
+
+    def test_iteration_and_len(self):
+        t = BatchHashTable(items={i: i * i for i in range(10)})
+        assert len(t) == 10
+        assert sorted(t.keys()) == list(range(10))
+        assert sorted(t.values()) == [i * i for i in range(10)]
+
+    def test_charges_constant_work_per_element(self):
+        cm = CostModel()
+        t = BatchHashTable(cm=cm)
+        t.batch_set([(i, i) for i in range(100)])
+        # O(1) work per element, O(log* n) depth per batch
+        assert 100 <= cm.work <= 150
+        assert cm.depth <= 8

@@ -1,0 +1,85 @@
+"""Tests for metric records, series summaries, and table rendering."""
+
+from repro.instrument import BatchRecord, BatchTimer, CostModel, Series, render_series, render_table
+
+
+def record(kind="insert", size=10, work=100, depth=5):
+    return BatchRecord(kind=kind, batch_size=size, work=work, depth=depth, wall_seconds=0.0)
+
+
+class TestBatchRecord:
+    def test_work_per_edge(self):
+        assert record(size=10, work=100).work_per_edge == 10.0
+
+    def test_zero_size(self):
+        assert record(size=0, work=7).work_per_edge == 7
+
+
+class TestSeries:
+    def test_totals(self):
+        s = Series([record(work=10, size=2), record(work=30, size=3)])
+        assert s.total_work() == 40
+        assert s.total_edges() == 5
+        assert s.mean_work_per_edge() == 8.0
+
+    def test_max_work_per_edge(self):
+        s = Series([record(work=10, size=10), record(work=90, size=3)])
+        assert s.max_work_per_edge() == 30.0
+
+    def test_depth_summaries(self):
+        s = Series([record(depth=3), record(depth=9)])
+        assert s.max_depth() == 9
+        assert s.mean_depth() == 6.0
+
+    def test_percentiles(self):
+        s = Series([record(work=i * 10, size=10) for i in range(1, 11)])
+        assert s.percentile_work_per_edge(0) == 1.0
+        assert s.percentile_work_per_edge(100) == 10.0
+        assert 5.0 <= s.percentile_work_per_edge(50) <= 6.0
+
+    def test_empty(self):
+        s = Series()
+        assert s.total_work() == 0
+        assert s.max_work_per_edge() == 0.0
+        assert s.percentile_work_per_edge(50) == 0.0
+
+
+class TestBatchTimer:
+    def test_records_deltas(self):
+        cm = CostModel()
+        timer = BatchTimer(cm)
+        with timer.batch("insert", 5):
+            cm.tick(50)
+            cm.count("phases", 2)
+        rec = timer.series.records[0]
+        assert rec.work == 50
+        assert rec.batch_size == 5
+        assert rec.counters == {"phases": 2}
+
+    def test_multiple_batches_isolated(self):
+        cm = CostModel()
+        timer = BatchTimer(cm)
+        with timer.batch("insert", 1):
+            cm.tick(10)
+        with timer.batch("delete", 1):
+            cm.tick(5)
+        works = [r.work for r in timer.series.records]
+        assert works == [10, 5]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.333333]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| a")
+        assert all(line.startswith("|") for line in lines)
+
+    def test_render_series(self):
+        out = render_series([1, 2], [10.0, 20.0], "x", "y")
+        assert "x" in out and "y" in out and "20" in out
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[1e-9], [123456.0], [1.5]])
+        assert "e-09" in out
+        assert "e+05" in out or "123456" in out

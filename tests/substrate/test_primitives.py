@@ -1,0 +1,119 @@
+"""Tests for the PRAM primitives (scan, reduce, pack, winners, semisort)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import CostModel
+from repro.pram import (
+    arbitrary_winners,
+    pack,
+    parallel_map,
+    parallel_sort,
+    reduce_max,
+    reduce_sum,
+    scan,
+    semisort,
+)
+
+
+class TestScan:
+    def test_exclusive_prefix_sum(self):
+        assert scan([1, 2, 3, 4]) == [0, 1, 3, 6]
+
+    def test_empty(self):
+        assert scan([]) == []
+
+    def test_single(self):
+        assert scan([7]) == [0]
+
+    def test_charges_linear_work_log_depth(self):
+        cm = CostModel()
+        scan(list(range(128)), cm)
+        assert cm.work == 128
+        assert cm.depth == 7
+
+
+class TestReduce:
+    def test_sum(self):
+        assert reduce_sum([1.5, 2.5]) == 4.0
+        assert reduce_sum([]) == 0.0
+
+    def test_max(self):
+        assert reduce_max([3, 9, 1]) == 9
+        assert reduce_max([]) == float("-inf")
+
+
+class TestPack:
+    def test_filters_by_flags(self):
+        assert pack(["a", "b", "c"], [True, False, True]) == ["a", "c"]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pack([1], [True, False])
+
+
+class TestArbitraryWinners:
+    def test_one_winner_per_target(self):
+        winners = arbitrary_winners([(1, "x"), (1, "y"), (2, "z")])
+        assert winners == {1: "x", 2: "z"}
+
+    def test_first_wins_after_sort(self):
+        proposals = sorted([(2, "b"), (1, "q"), (1, "a")])
+        assert arbitrary_winners(proposals) == {1: "a", 2: "b"}
+
+    def test_empty(self):
+        assert arbitrary_winners([]) == {}
+
+    def test_depth_constant(self):
+        cm = CostModel()
+        arbitrary_winners([(i % 3, i) for i in range(30)], cm)
+        assert cm.depth == 1
+        assert cm.work == 30
+
+
+class TestSemisort:
+    def test_groups(self):
+        groups = semisort([("a", 1), ("b", 2), ("a", 3)])
+        assert groups == {"a": [1, 3], "b": [2]}
+
+    def test_preserves_order_within_group(self):
+        groups = semisort([(0, i) for i in range(5)])
+        assert groups[0] == list(range(5))
+
+
+class TestSortAndMap:
+    def test_parallel_sort(self):
+        assert parallel_sort([3, 1, 2]) == [1, 2, 3]
+
+    def test_parallel_sort_key(self):
+        assert parallel_sort(["bb", "a"], key=len) == ["a", "bb"]
+
+    def test_sort_charges_nlogn(self):
+        cm = CostModel()
+        parallel_sort(list(range(64)), cm=cm)
+        assert cm.work == 64 * 6
+        assert cm.depth == 6
+
+    def test_parallel_map(self):
+        cm = CostModel()
+        assert parallel_map([1, 2], lambda x: x * 10, cm) == [10, 20]
+        assert cm.depth == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(-1000, 1000)))
+def test_hypothesis_scan_matches_cumsum(xs):
+    out = scan(xs)
+    acc = 0
+    for i, x in enumerate(xs):
+        assert out[i] == acc
+        acc += x
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers())))
+def test_hypothesis_winners_subset_of_proposals(props):
+    winners = arbitrary_winners(props)
+    assert set(winners.items()) <= set((t, p) for t, p in props)
+    assert set(winners) == {t for t, _ in props}

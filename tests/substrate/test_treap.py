@@ -1,0 +1,167 @@
+"""Unit + property tests for the treap (the [PP01] substitute engine)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pbst.treap import Treap
+
+
+class TestBasics:
+    def test_empty(self):
+        t = Treap()
+        assert len(t) == 0
+        assert not t
+        assert 5 not in t
+        assert list(t) == []
+
+    def test_insert_and_contains(self):
+        t = Treap()
+        assert t.insert(3)
+        assert t.insert(1)
+        assert t.insert(2)
+        assert 1 in t and 2 in t and 3 in t
+        assert 0 not in t and 4 not in t
+
+    def test_insert_duplicate_returns_false(self):
+        t = Treap()
+        assert t.insert(7)
+        assert not t.insert(7)
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = Treap()
+        for x in (5, 1, 9):
+            t.insert(x)
+        assert t.delete(1)
+        assert 1 not in t
+        assert len(t) == 2
+
+    def test_delete_absent_returns_false(self):
+        t = Treap()
+        t.insert(1)
+        assert not t.delete(2)
+        assert len(t) == 1
+
+    def test_iteration_sorted(self):
+        t = Treap()
+        for x in (5, 2, 9, 1, 7):
+            t.insert(x)
+        assert list(t) == [1, 2, 5, 7, 9]
+
+    def test_min_max(self):
+        t = Treap()
+        for x in (5, 2, 9):
+            t.insert(x)
+        assert t.min() == 2
+        assert t.max() == 9
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(KeyError):
+            Treap().min()
+        with pytest.raises(KeyError):
+            Treap().max()
+
+    def test_rank(self):
+        t = Treap()
+        for x in (10, 20, 30):
+            t.insert(x)
+        assert t.rank(10) == 0
+        assert t.rank(20) == 1
+        assert t.rank(30) == 2
+        assert t.rank(5) == 0
+        assert t.rank(25) == 2
+        assert t.rank(99) == 3
+
+    def test_select(self):
+        t = Treap()
+        for x in (10, 20, 30):
+            t.insert(x)
+        assert t.select(0) == 10
+        assert t.select(1) == 20
+        assert t.select(2) == 30
+
+    def test_select_out_of_range(self):
+        t = Treap()
+        t.insert(1)
+        with pytest.raises(IndexError):
+            t.select(1)
+        with pytest.raises(IndexError):
+            t.select(-1)
+
+    def test_select_rank_roundtrip(self):
+        t = Treap()
+        vals = [3, 14, 15, 92, 65, 35]
+        for x in vals:
+            t.insert(x)
+        for i, x in enumerate(sorted(vals)):
+            assert t.select(i) == x
+            assert t.rank(x) == i
+
+    def test_tuple_keys(self):
+        """Arc keys in the orientation are (head, copy) tuples."""
+        t = Treap()
+        t.insert((3, 0))
+        t.insert((3, 1))
+        t.insert((1, 2))
+        assert list(t) == [(1, 2), (3, 0), (3, 1)]
+        assert t.rank((3, 0)) == 1
+
+
+class TestRandomized:
+    def test_against_sorted_set_model(self):
+        rng = random.Random(42)
+        t = Treap()
+        model: set[int] = set()
+        for _ in range(2000):
+            x = rng.randrange(200)
+            if rng.random() < 0.6:
+                assert t.insert(x) == (x not in model)
+                model.add(x)
+            else:
+                assert t.delete(x) == (x in model)
+                model.discard(x)
+        assert list(t) == sorted(model)
+        t.check()
+
+    def test_structure_valid_after_churn(self):
+        rng = random.Random(7)
+        t = Treap()
+        for _ in range(500):
+            t.insert(rng.randrange(1000))
+        for _ in range(300):
+            t.delete(rng.randrange(1000))
+        t.check()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(-100, 100)))
+def test_hypothesis_insert_matches_set(xs):
+    t = Treap()
+    for x in xs:
+        t.insert(x)
+    assert list(t) == sorted(set(xs))
+    t.check()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.booleans(), st.integers(0, 30)), max_size=200)
+)
+def test_hypothesis_mixed_ops_match_set(ops):
+    t = Treap()
+    model: set[int] = set()
+    for is_insert, x in ops:
+        if is_insert:
+            t.insert(x)
+            model.add(x)
+        else:
+            t.delete(x)
+            model.discard(x)
+    assert list(t) == sorted(model)
+    for i, x in enumerate(sorted(model)):
+        assert t.select(i) == x
+        assert t.rank(x) == i
+    t.check()

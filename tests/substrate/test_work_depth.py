@@ -1,0 +1,128 @@
+"""Tests for the work/depth cost model — the simulated PRAM."""
+
+import pytest
+
+from repro.instrument import CostModel, NullCostModel
+
+
+class TestSequential:
+    def test_tick_adds_to_both(self):
+        cm = CostModel()
+        cm.tick()
+        cm.tick(4)
+        assert cm.work == 5
+        assert cm.depth == 5
+
+    def test_charge_is_independent(self):
+        cm = CostModel()
+        cm.charge(work=10, depth=2)
+        assert cm.work == 10
+        assert cm.depth == 2
+
+    def test_counters(self):
+        cm = CostModel()
+        cm.count("phases")
+        cm.count("phases", 3)
+        assert cm.counters["phases"] == 4
+
+
+class TestParallel:
+    def test_branches_sum_work_max_depth(self):
+        cm = CostModel()
+        with cm.parallel() as region:
+            for cost in (3, 5, 2):
+                with region.branch():
+                    cm.tick(cost)
+        assert cm.work == 10
+        assert cm.depth == 5
+
+    def test_nested_regions(self):
+        cm = CostModel()
+        # two sequential phases, each a parallel sweep of depth 1
+        for _ in range(2):
+            with cm.parallel() as region:
+                for _ in range(4):
+                    with region.branch():
+                        cm.tick()
+        assert cm.work == 8
+        assert cm.depth == 2
+
+    def test_parallel_inside_branch(self):
+        cm = CostModel()
+        with cm.parallel() as outer:
+            with outer.branch():
+                with cm.parallel() as inner:
+                    for c in (7, 1):
+                        with inner.branch():
+                            cm.tick(c)
+            with outer.branch():
+                cm.tick(3)
+        assert cm.work == 11
+        assert cm.depth == 7
+
+    def test_region_overhead_is_sequential(self):
+        cm = CostModel()
+        with cm.parallel() as region:
+            cm.tick(2)  # overhead outside any branch
+            with region.branch():
+                cm.tick(5)
+        assert cm.work == 7
+        assert cm.depth == 7  # overhead adds to depth as well
+
+    def test_empty_region(self):
+        cm = CostModel()
+        with cm.parallel():
+            pass
+        assert cm.work == 0
+        assert cm.depth == 0
+
+    def test_pfor(self):
+        cm = CostModel()
+        out = cm.pfor([1, 2, 3], lambda x: (cm.tick(x), x * 2)[1])
+        assert out == [2, 4, 6]
+        assert cm.work == 6
+        assert cm.depth == 3
+
+
+class TestSnapshots:
+    def test_snapshot_delta(self):
+        cm = CostModel()
+        cm.tick(3)
+        a = cm.snapshot()
+        cm.tick(4)
+        d = cm.snapshot() - a
+        assert d.work == 4 and d.depth == 4
+
+    def test_snapshot_inside_region_raises(self):
+        cm = CostModel()
+        with pytest.raises(RuntimeError):
+            with cm.parallel():
+                cm.snapshot()
+
+    def test_measure_context(self):
+        cm = CostModel()
+        with cm.measure() as delta:
+            cm.tick(9)
+        assert delta.work == 9
+
+    def test_reset(self):
+        cm = CostModel()
+        cm.tick(5)
+        cm.count("x")
+        cm.reset()
+        assert cm.work == 0 and cm.counters == {}
+
+
+class TestNullModel:
+    def test_ignores_everything(self):
+        cm = NullCostModel()
+        cm.tick(100)
+        cm.charge(work=5, depth=5)
+        cm.count("y")
+        assert cm.work == 0
+        assert cm.depth == 0
+        assert cm.counters == {}
+
+    def test_pfor_still_executes(self):
+        cm = NullCostModel()
+        assert cm.pfor([1, 2], lambda x: x + 1) == [2, 3]
