@@ -11,7 +11,7 @@ tracking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.config import Constants
 from repro.instrument import BatchTimer, CostModel, Series

@@ -1,0 +1,26 @@
+"""reprolint: AST-based invariant linter for this repository.
+
+Statically enforces the three disciplines the reproduction depends on —
+cost-model accounting in the structure layer (DESIGN.md §6), seed-driven
+determinism, and simulated-PRAM race safety in ``parallel()`` regions —
+plus API hygiene on the exported surface.  See docs/STATIC_ANALYSIS.md
+for the rule catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .checkers import ALL_CHECKERS
+from .engine import all_rules, lint_paths, lint_source
+from .findings import Finding, LintReport
+from .walker import Checker, ModuleContext
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,28 @@
+"""reprolint checker plugins.
+
+Each checker is an :class:`~repro.analysis.walker.Checker` subclass; the
+engine instantiates every entry in :data:`ALL_CHECKERS` per module.
+"""
+
+from __future__ import annotations
+
+from .cost import CostAccountingChecker
+from .determinism import DeterminismChecker
+from .hygiene import ApiHygieneChecker
+from .races import RaceChecker
+
+#: the default checker suite, in report order.
+ALL_CHECKERS = [
+    CostAccountingChecker,
+    DeterminismChecker,
+    RaceChecker,
+    ApiHygieneChecker,
+]
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ApiHygieneChecker",
+    "CostAccountingChecker",
+    "DeterminismChecker",
+    "RaceChecker",
+]

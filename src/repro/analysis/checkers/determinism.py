@@ -1,0 +1,210 @@
+"""Determinism checker (rules REP-D001..REP-D003).
+
+The simulated PRAM must be reproducible under a seed: the paper's
+w.h.p. statements are only testable when the "random" choices are a pure
+function of the seed, and the CRCW arbitrary-write resolution
+(:func:`repro.pram.primitives.arbitrary_winners`) is only deterministic
+when its input arrives in canonical order (Lemma 4.14/4.16 sort first).
+
+* **REP-D001** — a call through the *module-level* ``random`` generator
+  (``random.random()``, ``random.shuffle`` ...) or the legacy global numpy
+  generator (``np.random.*``): hidden global state that seeds cannot
+  reach.  Plumb an explicit ``random.Random(seed)`` instead.
+* **REP-D002** — ``random.Random()`` (or ``np.random.default_rng()``)
+  constructed with no seed argument: a fresh OS-entropy generator.
+* **REP-D003** — a set-typed iterable feeding order-sensitive parallel
+  logic — a ``region.branch()`` loop, ``parallel_map``, ``semisort``,
+  ``arbitrary_winners`` or ``pfor`` — without a canonical ``sorted(...)``
+  / ``parallel_sort(...)`` wrapper.  Set iteration order is an
+  implementation detail; branch order decides arbitrary-write winners.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..walker import Checker, attribute_chain
+
+#: random-module functions that consume the hidden global generator.
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randrange",
+        "randint",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "weibullvariate",
+        "vonmisesvariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+#: order-sensitive parallel consumers (bare-name form).
+_PARALLEL_CONSUMERS = frozenset({"parallel_map", "semisort", "arbitrary_winners"})
+
+
+
+class DeterminismChecker(Checker):
+    """Seeded randomness and canonical orders only."""
+
+    rules = {
+        "REP-D001": "module-level random.* call (hidden global RNG state)",
+        "REP-D002": "unseeded random.Random() / default_rng() construction",
+        "REP-D003": "set iteration feeds order-sensitive parallel logic "
+        "without a canonical sort",
+    }
+
+    # ------------------------------------------------------------- D001/D002
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = attribute_chain(node.func)
+        if chain is not None:
+            self._check_random_call(node, chain)
+        self._check_parallel_consumer(node)
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call, chain: list[str]) -> None:
+        # random.<fn>(...) on the module itself
+        if chain[:1] == ["random"] and len(chain) == 2:
+            if chain[1] in _GLOBAL_RANDOM_FNS:
+                self.emit(
+                    node,
+                    "REP-D001",
+                    f"'random.{chain[1]}()' uses the global RNG — plumb an "
+                    "explicit random.Random(seed) through instead",
+                )
+            elif chain[1] == "Random" and not node.args and not node.keywords:
+                self.emit(
+                    node,
+                    "REP-D002",
+                    "'random.Random()' without a seed draws OS entropy — "
+                    "pass an explicit seed",
+                )
+        # np.random.<fn>(...) — the legacy global numpy generator
+        if len(chain) == 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            if chain[2] == "default_rng":
+                if not node.args and not node.keywords:
+                    self.emit(
+                        node,
+                        "REP-D002",
+                        "'default_rng()' without a seed draws OS entropy — "
+                        "pass an explicit seed",
+                    )
+            else:
+                self.emit(
+                    node,
+                    "REP-D001",
+                    f"'{chain[0]}.random.{chain[2]}()' uses numpy's global "
+                    "RNG — use a seeded Generator instead",
+                )
+
+    # ------------------------------------------------------------------ D003
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        set_vars = self._set_typed_locals(fn)
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.For) and self._loop_opens_branch(sub):
+                if self._is_unordered_set(sub.iter, set_vars):
+                    self.emit(
+                        sub,
+                        "REP-D003",
+                        "parallel branches iterate a set in hash order — "
+                        "wrap the iterable in sorted(...) so branch order "
+                        "(and arbitrary-write winners) is canonical",
+                    )
+
+    def _check_parallel_consumer(self, node: ast.Call) -> None:
+        name: Optional[str] = None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _PARALLEL_CONSUMERS:
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            _PARALLEL_CONSUMERS | {"pfor"}
+        ):
+            name = func.attr
+        if name is None or not node.args:
+            return
+        first = node.args[0]
+        if self._is_syntactic_set(first):
+            self.emit(
+                node,
+                "REP-D003",
+                f"set passed to order-sensitive '{name}' — wrap it in "
+                "sorted(...) for a canonical processing order",
+            )
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _loop_opens_branch(loop: ast.For) -> bool:
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.With):
+                for item in sub.items:
+                    call = item.context_expr
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "branch"
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _is_syntactic_set(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        return False
+
+    def _set_typed_locals(self, fn: ast.FunctionDef) -> set[str]:
+        """Names that are only ever assigned set-typed expressions."""
+        assigned: dict[str, bool] = {}
+        for sub in ast.walk(fn):
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                is_set = self._is_syntactic_set(value)
+                prior = assigned.get(target.id)
+                assigned[target.id] = is_set if prior is None else (prior and is_set)
+        return {name for name, is_set in assigned.items() if is_set}
+
+    def _is_unordered_set(self, expr: ast.AST, set_vars: set[str]) -> bool:
+        """True when ``expr`` is syntactically a set (or a set-typed local)
+        not wrapped in an ordering call like ``sorted``/``parallel_sort``."""
+        if self._is_syntactic_set(expr):
+            return True
+        return isinstance(expr, ast.Name) and expr.id in set_vars
+
+
+__all__ = ["DeterminismChecker"]

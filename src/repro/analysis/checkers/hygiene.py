@@ -1,0 +1,134 @@
+"""API-hygiene checker (rules REP-H001..REP-H003).
+
+The library's public surface is what the README and COOKBOOK promise;
+``__all__`` is the contract.  Three consistency rules:
+
+* **REP-H001** — a name listed in ``__all__`` that the module never binds
+  (typo'd export: ``from module import name`` would raise at a distance).
+* **REP-H002** — a public top-level ``def``/``class`` missing from an
+  existing ``__all__``: either export it or underscore it.
+* **REP-H003** — an exported function or class with no docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..walker import Checker
+
+
+class ApiHygieneChecker(Checker):
+    """``__all__`` consistency and docstrings on the exported surface."""
+
+    rules = {
+        "REP-H001": "__all__ lists a name the module never binds",
+        "REP-H002": "public top-level definition missing from __all__",
+        "REP-H003": "exported definition has no docstring",
+    }
+
+    def run(self):
+        tree = self.ctx.tree
+        bound = self._module_bindings(tree)
+        dunder_all = self._find_all(tree)
+
+        if dunder_all is not None:
+            names, node = dunder_all
+            for name in sorted(set(names)):
+                if name not in bound:
+                    self.emit(
+                        node,
+                        "REP-H001",
+                        f"__all__ exports {name!r} but the module never "
+                        "binds it",
+                    )
+
+        exported = set(dunder_all[0]) if dunder_all is not None else None
+        for stmt in tree.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            public = not stmt.name.startswith("_")
+            if exported is not None and public and stmt.name not in exported:
+                self.emit(
+                    stmt,
+                    "REP-H002",
+                    f"public {'class' if isinstance(stmt, ast.ClassDef) else 'function'} "
+                    f"'{stmt.name}' is not in __all__ — export it or prefix "
+                    "it with an underscore",
+                )
+            is_exported = (
+                stmt.name in exported if exported is not None else public
+            )
+            if is_exported and ast.get_docstring(stmt) is None:
+                self.emit(
+                    stmt,
+                    "REP-H003",
+                    f"exported {'class' if isinstance(stmt, ast.ClassDef) else 'function'} "
+                    f"'{stmt.name}' has no docstring",
+                )
+        return self.findings
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> Optional[tuple[list[str], ast.stmt]]:
+        for stmt in tree.body:
+            targets: list[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    names: list[str] = []
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        for elt in value.elts:
+                            if isinstance(elt, ast.Constant) and isinstance(
+                                elt.value, str
+                            ):
+                                names.append(elt.value)
+                    return names, stmt
+        return None
+
+    @staticmethod
+    def _module_bindings(tree: ast.Module) -> set[str]:
+        """Names bound at module top level (defs, classes, imports, assigns)."""
+        bound: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                bound.add(stmt.target.id)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # conditional imports / TYPE_CHECKING blocks
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Import):
+                        for alias in sub.names:
+                            bound.add(alias.asname or alias.name.split(".")[0])
+                    elif isinstance(sub, ast.ImportFrom):
+                        for alias in sub.names:
+                            bound.add(alias.asname or alias.name)
+                    elif isinstance(sub, (ast.FunctionDef, ast.ClassDef)):
+                        bound.add(sub.name)
+        return bound
+
+
+__all__ = ["ApiHygieneChecker"]

@@ -1,0 +1,353 @@
+"""Simulated-PRAM race checker (rules REP-R001..REP-R003).
+
+``CostModel.parallel()`` regions *execute* sequentially, but they model a
+CRCW PRAM phase: sibling ``region.branch()`` bodies are semantically
+concurrent, reading the pre-phase state.  Code that works only because the
+simulation happens to run branches in order is a latent bug — it will
+diverge the moment a real backend (processes, sharding) replaces the
+simulation, and it silently deviates from the paper's synchronous-phase
+analysis.  Three write patterns are detected by static write-set analysis
+of branch bodies:
+
+* **REP-R001** — a plain/augmented assignment to a *shared scalar*: a name
+  bound in the enclosing function before the parallel region.  Sibling
+  branches race on it (last-writer-wins, or lost updates for ``+=``).
+  Gather per-branch values and reduce after the region instead.
+* **REP-R002** — a keyed write (``d[k] = v``) into a shared container
+  where the key is not the branch's loop variable: two siblings can write
+  the same key, which the paper resolves only through the CRCW
+  arbitrary-write primitive.  Collect proposals and run them through
+  :func:`repro.pram.primitives.arbitrary_winners`.
+* **REP-R003** — an unordered gather: ``shared_list.append(...)`` from
+  sibling branches, where the list is later consumed without a canonical
+  ``sorted``/``parallel_sort`` or ``arbitrary_winners``/``semisort``
+  mediation.  On a real machine the arrival order is arbitrary.
+
+Writes keyed by the branch's own loop variable (``tokens[tail] += 1`` in a
+``for tail in ...`` loop) are per-branch-private and allowed; mutating
+*set* methods (``.add``/``.discard``) are commutative and exempt.
+Callables handed to ``parallel_map``/``pfor`` get the same treatment: a
+closure write inside the worker function is flagged at the write site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..walker import Checker
+
+#: list-mutators whose call order changes the result.
+_ORDERED_MUTATORS = frozenset({"append", "extend", "insert", "appendleft"})
+
+#: mediation sinks: feeding the gathered name through any of these makes
+#: the arrival order irrelevant.
+_MEDIATORS = frozenset({"sorted", "parallel_sort", "arbitrary_winners", "semisort"})
+
+
+def _assigned_names(node: ast.AST) -> set[str]:
+    """All names bound by statements inside ``node`` (incl. loop targets)."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign):
+            for t in sub.targets:
+                out |= _target_names(t)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            out |= _target_names(sub.target)
+        elif isinstance(sub, ast.For):
+            out |= _target_names(sub.target)
+        elif isinstance(sub, ast.With):
+            for item in sub.items:
+                if item.optional_vars is not None:
+                    out |= _target_names(item.optional_vars)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(sub.name)
+    return out
+
+
+def _target_names(node: ast.AST) -> set[str]:
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in node.elts:
+            out |= _target_names(elt)
+        return out
+    return set()
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+class RaceChecker(Checker):
+    """Write-set analysis of ``region.branch()`` bodies and PRAM callables."""
+
+    rules = {
+        "REP-R001": "sibling branches write a shared scalar",
+        "REP-R002": "sibling branches write a shared container under a "
+        "non-loop key without arbitrary-winner mediation",
+        "REP-R003": "unordered gather: branch appends consumed without a "
+        "canonical sort or CRCW mediation",
+    }
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # ------------------------------------------------------------------ core
+
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        params = {
+            a.arg
+            for a in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+        }
+        for stmt_index, stmt in enumerate(fn.body):
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.With) and self._parallel_region(sub):
+                    shared = params | self._names_bound_before(fn, sub)
+                    self._check_region(fn, sub, shared)
+        self._check_pram_callables(fn)
+
+    @staticmethod
+    def _parallel_region(node: ast.With) -> bool:
+        for item in node.items:
+            call = item.context_expr
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "parallel"
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _names_bound_before(fn: ast.FunctionDef, region: ast.With) -> set[str]:
+        """Names assigned in the function on lines before the region opens."""
+        out: set[str] = set()
+        for sub in ast.walk(fn):
+            if getattr(sub, "lineno", region.lineno) >= region.lineno:
+                continue
+            if isinstance(sub, ast.Assign):
+                for t in sub.targets:
+                    out |= _target_names(t)
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                out |= _target_names(sub.target)
+            elif isinstance(sub, ast.For):
+                out |= _target_names(sub.target)
+        return out
+
+    def _check_region(
+        self, fn: ast.FunctionDef, region: ast.With, shared: set[str]
+    ) -> None:
+        for loop in ast.walk(region):
+            if not isinstance(loop, ast.For):
+                continue
+            loop_vars = _target_names(loop.target)
+            for branch in self._branches(loop):
+                local = _assigned_names(branch) - shared
+                self._check_branch(fn, branch, shared, loop_vars | local, loop_vars)
+
+    @staticmethod
+    def _branches(loop: ast.For) -> list[ast.With]:
+        out = []
+        for sub in ast.walk(loop):
+            if isinstance(sub, ast.With):
+                for item in sub.items:
+                    call = item.context_expr
+                    if (
+                        isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "branch"
+                    ):
+                        out.append(sub)
+        return out
+
+    # -- branch body rules ----------------------------------------------------
+
+    def _check_branch(
+        self,
+        fn: ast.FunctionDef,
+        branch: ast.With,
+        shared: set[str],
+        private: set[str],
+        loop_vars: set[str],
+    ) -> None:
+        for sub in ast.walk(branch):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    self._check_store(sub, target, shared, private, loop_vars)
+            elif isinstance(sub, ast.AugAssign):
+                self._check_store(sub, sub.target, shared, private, loop_vars)
+            elif isinstance(sub, ast.Call):
+                self._check_gather(fn, sub, shared, private)
+
+    def _check_store(
+        self,
+        stmt: ast.stmt,
+        target: ast.expr,
+        shared: set[str],
+        private: set[str],
+        loop_vars: set[str],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in shared and target.id not in private:
+                verb = "augments" if isinstance(stmt, ast.AugAssign) else "assigns"
+                self.emit(
+                    stmt,
+                    "REP-R001",
+                    f"branch {verb} shared variable '{target.id}' — sibling "
+                    "branches race; gather per-branch results and reduce "
+                    "after the region",
+                )
+        elif isinstance(target, ast.Subscript):
+            root = target.value
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            container = root.id if isinstance(root, ast.Name) else "self-attribute"
+            is_shared = (
+                isinstance(root, ast.Name)
+                and root.id in shared
+                and root.id not in private
+            ) or (isinstance(root, ast.Name) and root.id == "self")
+            if not is_shared:
+                return
+            key_names = _names_in(target.slice)
+            if key_names and key_names <= loop_vars:
+                return  # keyed by the branch's own loop variable: private slot
+            self.emit(
+                stmt,
+                "REP-R002",
+                f"branch writes shared container '{container}' under a key "
+                "that is not the branch's loop variable — siblings can "
+                "collide on the same key; collect proposals and resolve via "
+                "arbitrary_winners()",
+            )
+
+    def _check_gather(
+        self,
+        fn: ast.FunctionDef,
+        call: ast.Call,
+        shared: set[str],
+        private: set[str],
+    ) -> None:
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _ORDERED_MUTATORS
+            and isinstance(func.value, ast.Name)
+        ):
+            return
+        name = func.value.id
+        if name not in shared or name in private:
+            return
+        if self._is_mediated(fn, name, call.lineno):
+            return
+        self.emit(
+            call,
+            "REP-R003",
+            f"branches append to shared list '{name}' whose consumption is "
+            "never canonically ordered — pass it through parallel_sort / "
+            "sorted / arbitrary_winners before consuming it",
+        )
+
+    def _is_mediated(self, fn: ast.FunctionDef, name: str, after_line: int) -> bool:
+        """Is ``name`` later fed through a sort/arbitrary-winner mediator?"""
+        for sub in ast.walk(fn):
+            if not isinstance(sub, ast.Call):
+                continue
+            if getattr(sub, "lineno", 0) <= after_line:
+                continue
+            fname: Optional[str] = None
+            if isinstance(sub.func, ast.Name):
+                fname = sub.func.id
+            elif isinstance(sub.func, ast.Attribute):
+                fname = sub.func.attr
+            if fname not in _MEDIATORS:
+                continue
+            for arg in sub.args:
+                if any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(arg)
+                ):
+                    return True
+        return False
+
+    # -- callables passed to parallel_map / pfor -------------------------------
+
+    def _check_pram_callables(self, fn: ast.FunctionDef) -> None:
+        local_defs = {
+            sub.name: sub
+            for sub in ast.walk(fn)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not fn
+        }
+        for sub in ast.walk(fn):
+            if not isinstance(sub, ast.Call):
+                continue
+            fname = None
+            if isinstance(sub.func, ast.Name):
+                fname = sub.func.id
+            elif isinstance(sub.func, ast.Attribute):
+                fname = sub.func.attr
+            if fname not in ("parallel_map", "pfor"):
+                continue
+            worker: Optional[ast.AST] = None
+            if len(sub.args) >= 2:
+                worker = sub.args[1]
+            for kw in sub.keywords:
+                if kw.arg == "fn":
+                    worker = kw.value
+            if isinstance(worker, ast.Name) and worker.id in local_defs:
+                self._check_worker(local_defs[worker.id])
+
+    def _check_worker(self, worker: ast.FunctionDef) -> None:
+        params = {
+            a.arg
+            for a in [
+                *worker.args.posonlyargs,
+                *worker.args.args,
+                *worker.args.kwonlyargs,
+            ]
+        }
+        local = _assigned_names(worker) | params
+        nonlocals: set[str] = set()
+        for sub in ast.walk(worker):
+            if isinstance(sub, (ast.Nonlocal, ast.Global)):
+                nonlocals |= set(sub.names)
+        for sub in ast.walk(worker):
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in nonlocals:
+                        self.emit(
+                            sub,
+                            "REP-R001",
+                            f"parallel worker '{worker.name}' writes closure "
+                            f"variable '{target.id}' — concurrent invocations "
+                            "race on it",
+                        )
+                    elif isinstance(target, ast.Subscript):
+                        root = target.value
+                        while isinstance(root, (ast.Attribute, ast.Subscript)):
+                            root = root.value
+                        if (
+                            isinstance(root, ast.Name)
+                            and root.id not in local
+                            and not (_names_in(target.slice) & params)
+                        ):
+                            self.emit(
+                                sub,
+                                "REP-R002",
+                                f"parallel worker '{worker.name}' writes shared "
+                                f"container '{root.id}' under a key independent "
+                                "of its argument — concurrent invocations can "
+                                "collide",
+                            )
+
+
+__all__ = ["RaceChecker"]

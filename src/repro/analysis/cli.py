@@ -1,0 +1,86 @@
+"""Command-line interface for reprolint.
+
+Invoked as ``python -m repro.analysis [paths...]`` or via the ``repro
+lint`` subcommand.  Exits non-zero when findings survive suppression, so
+a bare invocation is a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .engine import all_rules, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The reprolint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant linter for cost accounting, determinism, "
+            "simulated-PRAM race safety, and API hygiene (see "
+            "docs/STATIC_ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to report (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its description and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Lint the given paths; exit 0 iff no findings survive suppression."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule, description in all_rules().items():
+            print(f"{rule}  {description}")
+        return 0
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    if select:
+        known = set(all_rules()) | {"REP-E999"}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(
+                f"reprolint: unknown rule id(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
+    report = lint_paths(args.paths, select=select)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,151 @@
+"""reprolint engine: file discovery, checker dispatch, suppression filter.
+
+The engine walks the given paths for ``.py`` files (skipping caches and
+build metadata), builds one :class:`~repro.analysis.walker.ModuleContext`
+per file, runs every registered checker over it, filters findings through
+the inline ``# reprolint: disable=`` map, and folds the survivors into a
+single :class:`~repro.analysis.findings.LintReport`.
+
+Cost-accounting rules (REP-C*) only apply inside the structure layer —
+paths under ``core/``, ``pbst/`` or ``hashtable/`` — where DESIGN.md §6
+requires every mutation to charge the :class:`CostModel`.  Everything
+else (apps, graphs, tooling) is exempt from REP-C* but still checked for
+determinism, races, and hygiene.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence, Type
+
+from .checkers import ALL_CHECKERS
+from .findings import Finding, LintReport
+from .walker import Checker, ModuleContext
+
+#: directory names never descended into.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".pytest_cache", "build", "dist", ".ruff_cache"}
+)
+
+#: path components that put a file in cost-accounting scope.
+_COST_SCOPE_DIRS = frozenset({"core", "pbst", "hashtable"})
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Yield ``.py`` files under ``paths``, skipping caches and egg-info."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d
+                for d in dirnames
+                if d not in _SKIP_DIRS and not d.endswith(".egg-info")
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def in_cost_scope(path: str) -> bool:
+    """Is this file under a package whose mutations must charge a CostModel?"""
+    parts = os.path.normpath(path).split(os.sep)
+    return any(part in _COST_SCOPE_DIRS for part in parts)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    cost_scope: bool = True,
+    checkers: Optional[Sequence[Type[Checker]]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> list[Finding]:
+    """Lint one source string; the unit-test entry point.
+
+    Returns the deduplicated, suppression-filtered findings sorted by
+    (file, line, rule).
+    """
+    ctx = ModuleContext(path, source)
+    ctx.in_cost_scope = cost_scope
+    seen: set[Finding] = set()
+    out: list[Finding] = []
+    for checker_cls in checkers if checkers is not None else ALL_CHECKERS:
+        for finding in checker_cls(ctx).run():
+            if finding in seen:
+                continue
+            seen.add(finding)
+            if ctx.is_suppressed(finding):
+                continue
+            if select and finding.rule not in select:
+                continue
+            out.append(finding)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    checkers: Optional[Sequence[Type[Checker]]] = None,
+    select: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` into one report.
+
+    Files with syntax errors are reported as a single ``REP-E999`` finding
+    rather than aborting the run.
+    """
+    report = LintReport(subject="reprolint " + " ".join(paths))
+    for path in paths:
+        if not os.path.exists(path):
+            # a typo'd path must not silently pass the CI gate
+            report.add(Finding(path, 1, "REP-E999", "path does not exist"))
+    for filepath in iter_python_files(paths):
+        report.files_checked += 1
+        try:
+            with open(filepath, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            report.add(Finding(filepath, 1, "REP-E999", f"cannot read file: {exc}"))
+            continue
+        try:
+            findings = lint_source(
+                source,
+                filepath,
+                cost_scope=in_cost_scope(filepath),
+                checkers=checkers,
+                select=select,
+            )
+        except SyntaxError as exc:
+            report.add(
+                Finding(
+                    filepath,
+                    exc.lineno or 1,
+                    "REP-E999",
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        report.extend(findings)
+    report.findings.sort()
+    return report
+
+
+def all_rules(
+    checkers: Optional[Sequence[Type[Checker]]] = None,
+) -> dict[str, str]:
+    """Rule id -> description across the checker suite."""
+    rules: dict[str, str] = {}
+    for checker_cls in checkers if checkers is not None else ALL_CHECKERS:
+        rules.update(checker_cls.rules)
+    return dict(sorted(rules.items()))
+
+
+__all__ = [
+    "all_rules",
+    "in_cost_scope",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]

@@ -138,6 +138,7 @@ def check_proper(
     succ: Mapping[int, Optional[int]],
     colors: Mapping[int, int],
 ) -> None:
+    """Raise if any successor edge is monochromatic under ``colors``."""
     for v in vertices:
         s = succ.get(v)
         if s is not None and colors[v] == colors[s]:

@@ -25,6 +25,8 @@ from ..errors import CapacityError
 from ..graphs.graph import norm_edge
 from ..instrument.work_depth import CostModel
 from ..core.lowoutdegree import LowOutDegree
+from ..pram.primitives import arbitrary_winners
+from ..pram.sorting import parallel_sort
 
 
 class MaximalMatching:
@@ -128,7 +130,7 @@ class MaximalMatching:
     def _rematch(self, dirty: set[int]) -> None:
         frontier = {v for v in dirty if v not in self.mate}
         while frontier:
-            proposals: dict[int, int] = {}
+            proposed: list[tuple[int, int]] = []
             with self.cm.parallel() as region:
                 for v in sorted(frontier):
                     if v in self.mate:
@@ -136,11 +138,14 @@ class MaximalMatching:
                     with region.branch():
                         cands = self._candidates(v)
                         if cands:
-                            target = cands[0]
-                            if target not in proposals:
-                                proposals[target] = v
-            if not proposals:
+                            proposed.append((cands[0], v))
+            if not proposed:
                 break
+            # CRCW arbitrary-write round: sort first so the winner per
+            # target is canonical (Lemma 4.14/4.16 discipline).
+            proposals = arbitrary_winners(
+                parallel_sort(proposed, cm=self.cm), cm=self.cm
+            )
             matched_now: set[int] = set()
             for target in sorted(proposals):
                 v = proposals[target]

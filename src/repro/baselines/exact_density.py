@@ -108,4 +108,5 @@ def densest_subgraph(g: DynamicGraph) -> tuple[float, set[int]]:
 
 
 def exact_density(g: DynamicGraph) -> float:
+    """``rho(G)``: the exact maximum subgraph density."""
     return densest_subgraph(g)[0]

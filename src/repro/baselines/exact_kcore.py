@@ -99,6 +99,7 @@ def parallel_core_numbers(
 
 
 def max_coreness(g: DynamicGraph) -> int:
+    """The degeneracy of ``g`` — equivalently its maximum coreness."""
     return degeneracy(g)
 
 

@@ -45,6 +45,7 @@ def _make_edges(args) -> tuple[int, list]:
 
 
 def cmd_generate(args) -> int:
+    """Synthesise a batch-update trace and write it to ``--out``."""
     if args.pattern == "churn":
         # churn synthesizes its own edges; no base family needed
         ops = streams.churn(args.n, steps=args.steps, batch_size=args.batch_size, seed=args.seed)
@@ -65,6 +66,7 @@ def cmd_generate(args) -> int:
 
 
 def cmd_run(args) -> int:
+    """Replay a trace through the maintained structures; print metrics."""
     ops = read_trace(args.trace)
     n = max(validate_trace(ops), 2)
     cm = CostModel()
@@ -114,6 +116,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_exact(args) -> int:
+    """Exact offline measures of a trace's final graph."""
     ops = read_trace(args.trace)
     validate_trace(ops)
     g = DynamicGraph(0)
@@ -132,7 +135,20 @@ def cmd_exact(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run reprolint (see docs/STATIC_ANALYSIS.md) over the given paths."""
+    from .analysis.cli import main as lint_main
+
+    argv: list[str] = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    return lint_main(argv)
+
+
 def cmd_verify(args) -> int:
+    """Replay a trace auditing structure invariants after every batch."""
     from .core.verify import replay_audit
 
     ops = read_trace(args.trace)
@@ -145,6 +161,7 @@ def cmd_verify(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -182,10 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--deep-every", type=int, default=0,
                    help="also audit estimate bands every N batches (slow)")
     v.set_defaults(func=cmd_verify)
+
+    lint = sub.add_parser(
+        "lint", help="run reprolint (static invariant checks) over the tree"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.add_argument("--select", help="comma-separated rule ids to report")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -159,6 +159,11 @@ class BalancedOrientation:
         if outset is None:
             return
         hi = min(hi, len(outset))
+        # the positions re-file independently: O(span log n) work at one
+        # O(log n) level of depth (a parallel scan over the window).
+        span = hi - max(1, lo) + 1
+        if span > 0:
+            self.cm.charge(work=span * self._logn(), depth=self._logn())
         for position in range(max(1, lo), hi + 1):
             head, copy = outset.select(position)
             arc = (tail, head, copy)

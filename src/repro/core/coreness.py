@@ -48,6 +48,8 @@ class CorenessDecomposition:
 
     def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = list(edges)
+        # ladder dispatch + touched-set bookkeeping: O(|batch|) work, O(1) depth
+        self.cm.charge(work=len(edges) + 1, depth=1)
         for u, v in edges:
             self._touched.add(u)
             self._touched.add(v)
@@ -58,6 +60,7 @@ class CorenessDecomposition:
 
     def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = list(edges)
+        self.cm.charge(work=len(edges) + 1, depth=1)
         with self.cm.parallel() as region:
             for rung in self.rungs:
                 with region.branch():

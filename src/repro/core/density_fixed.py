@@ -135,6 +135,7 @@ class FixedHDensityGuard:
     def _absorb_journal(self, inner: BalancedOrientation) -> None:
         """Record undirected edges whose orientation may have changed —
         the raw material of Lemma 6.1's D_ins/D_del tables."""
+        self.cm.charge(work=len(inner.last_reversed) + 1, depth=1)
         for tail, head, _copy in inner.last_reversed:
             self.changed_edges.add(norm_edge(tail, head))
 

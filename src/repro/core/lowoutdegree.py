@@ -66,6 +66,8 @@ class LowOutDegree:
 
     def _sync_changed(self, changed: set[tuple[int, int]], table: BatchHashTable) -> None:
         """Reconcile the exported mirror for every possibly-changed edge."""
+        # mirror maintenance: O(|changed|) work at O(1) depth per edge
+        self.cm.charge(work=len(changed) + 1, depth=1)
         updates = []
         for a, b in sorted(changed):
             old_tail = self._tail.get((a, b))

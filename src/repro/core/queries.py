@@ -110,10 +110,12 @@ class CorenessMonitor:
         return sorted(groups.values(), key=lambda s: (-len(s), min(s)))
 
     def _propagate_labels(self, keep: set[int]) -> dict[int, int]:
+        # Jacobi rounds: every branch reads the pre-round labels, improved
+        # labels are gathered and applied only after the region closes, so
+        # the simulated phase matches a synchronous PRAM step.
         label = {v: v for v in keep}
-        changed = True
-        while changed:
-            changed = False
+        while True:
+            updates: list[tuple[int, int]] = []
             with self.cm.parallel() as region:
                 for v in sorted(keep):
                     with region.branch():
@@ -123,9 +125,11 @@ class CorenessMonitor:
                             + [label[w] for w in self.graph.neighbors(v) if w in keep]
                         )
                         if best < label[v]:
-                            label[v] = best
-                            changed = True
-        return label
+                            updates.append((v, best))
+            if not updates:
+                return label
+            for v, best in sorted(updates):
+                label[v] = best
 
     def hierarchy(self) -> list[tuple[float, set[int]]]:
         """The nested core hierarchy: (level, vertices with estimate >= level).

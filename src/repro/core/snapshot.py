@@ -52,6 +52,7 @@ def restore(
 
 
 def to_json(st: BalancedOrientation) -> str:
+    """Serialise a structure snapshot to a JSON string."""
     snap = snapshot(st)
     return json.dumps(
         {
@@ -67,6 +68,7 @@ def from_json(
     cm: Optional[CostModel] = None,
     constants: Constants = DEFAULT_CONSTANTS,
 ) -> BalancedOrientation:
+    """Rebuild a validated :class:`BalancedOrientation` from :func:`to_json` output."""
     raw = json.loads(payload)
     snap = {
         "H": raw["H"],

@@ -17,6 +17,8 @@ from .density import DensityEstimator
 
 @dataclass(frozen=True)
 class OrientationStats:
+    """One ``BALANCED(H)`` structure's shape and accumulated cost."""
+
     H: int
     vertices: int
     arcs: int
@@ -46,6 +48,7 @@ class OrientationStats:
 
 
 def orientation_stats(st: BalancedOrientation) -> OrientationStats:
+    """Snapshot one orientation structure into an :class:`OrientationStats`."""
     levels = [lvl for lvl in st.level.values()]
     active = [lvl for v, lvl in st.level.items() if lvl or v in st.out]
     histogram: dict[int, int] = {}
@@ -69,6 +72,8 @@ def orientation_stats(st: BalancedOrientation) -> OrientationStats:
 
 @dataclass(frozen=True)
 class LadderStats:
+    """Shape and cost of a geometric ladder of estimators."""
+
     rungs: int
     heights: tuple[int, ...]
     first_active_rung: Optional[int]
@@ -88,6 +93,7 @@ class LadderStats:
 
 
 def coreness_stats(cd: CorenessDecomposition) -> LadderStats:
+    """Snapshot the coreness ladder into a :class:`LadderStats`."""
     first = None
     if cd._touched:
         top = cd.max_estimate()
@@ -105,6 +111,7 @@ def coreness_stats(cd: CorenessDecomposition) -> LadderStats:
 
 
 def density_stats(de: DensityEstimator) -> LadderStats:
+    """Snapshot the density ladder into a :class:`LadderStats`."""
     from ..errors import InvariantViolation
 
     try:

@@ -141,7 +141,9 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
                         wkey = index.any_at(i, 0, lv + 1)
                         if wkey is not None:
                             sends.append((v, wkey))
-            for v, (w, copy) in sends:
+            # canonical order: each v sends at most once, so sorting makes
+            # the flip sequence a pure function of the phase's input.
+            for v, (w, copy) in sorted(sends):
                 st._flip(w, v, copy)  # arc (w -> v) becomes (v -> w)
                 token.discard(v)
                 pending_dec[v] = pending_dec.get(v, 0) - 1
@@ -169,13 +171,13 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
                     continue
                 with region.branch():
                     st._charge_lookup()
-                    index = st.inx.get(v)
-                    if index is None:
+                    tindex = st.inx.get(v)
+                    if tindex is None:
                         continue
-                    wkey = index.any_truncated(H + 1, H)
-                    if wkey is not None:
-                        sends.append((v, wkey))
-        for v, (w, copy) in sends:
+                    twkey = tindex.any_truncated(H + 1, H)
+                    if twkey is not None:
+                        sends.append((v, twkey))
+        for v, (w, copy) in sorted(sends):
             st._flip(w, v, copy)
             token.discard(v)
             pending_dec[v] = pending_dec.get(v, 0) - 1

@@ -36,6 +36,8 @@ from .levels import is_h_balanced_edge
 
 @dataclass
 class AuditReport:
+    """Accumulated invariant-audit findings; ``ok`` iff none."""
+
     subject: str
     findings: list[str] = field(default_factory=list)
 

@@ -21,12 +21,14 @@ duplicates, no self-loops, reproducible under the given seed.
 from __future__ import annotations
 
 import random
+
 from ..errors import ParameterError
+from ..rng import coerce_rng
 from .graph import Edge, norm_edge
 
 
 def _rng(seed: int | random.Random) -> random.Random:
-    return seed if isinstance(seed, random.Random) else random.Random(seed)
+    return coerce_rng(seed)
 
 
 def erdos_renyi(n: int, m: int, seed: int | random.Random = 0) -> tuple[int, list[Edge]]:
@@ -146,15 +148,18 @@ def clique(k: int, offset: int = 0) -> tuple[int, list[Edge]]:
 
 
 def star(leaves: int, center: int = 0) -> tuple[int, list[Edge]]:
+    """A star graph — coreness 1 everywhere."""
     edges = [norm_edge(center, center + 1 + i) for i in range(leaves)]
     return center + leaves + 1, edges
 
 
 def path(n: int) -> tuple[int, list[Edge]]:
+    """A simple path on ``n`` vertices."""
     return n, [(i, i + 1) for i in range(n - 1)]
 
 
 def cycle(n: int) -> tuple[int, list[Edge]]:
+    """A simple cycle — the minimal graph of coreness 2."""
     if n < 3:
         raise ParameterError("cycle needs n >= 3")
     return n, [(i, i + 1) for i in range(n - 1)] + [(0, n - 1)]
@@ -176,6 +181,7 @@ def grid(rows: int, cols: int) -> tuple[int, list[Edge]]:
 
 
 def complete_bipartite(a: int, b: int) -> tuple[int, list[Edge]]:
+    """``K_{a,b}`` — coreness min(a, b) on every vertex."""
     edges = [(u, a + v) for u in range(a) for v in range(b)]
     return a + b, edges
 

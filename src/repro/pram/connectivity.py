@@ -26,6 +26,7 @@ from typing import Iterable, Mapping, Optional
 
 from ..errors import ConvergenceError
 from ..instrument.work_depth import CostModel
+from ..rng import coerce_rng
 
 
 def connected_components(
@@ -33,7 +34,7 @@ def connected_components(
     neighbors: Mapping[int, Iterable[int]] | None = None,
     edges: Optional[Iterable[tuple[int, int]]] = None,
     cm: Optional[CostModel] = None,
-    seed: int = 0,
+    seed: int | random.Random = 0,
 ) -> tuple[dict[int, int], int]:
     """Component label per vertex, plus the number of contraction rounds.
 
@@ -54,7 +55,7 @@ def connected_components(
     else:
         edge_list = [(u, v) for (u, v) in edges if u in verts and v in verts]
 
-    rng = random.Random(seed)
+    rng = coerce_rng(seed)
     parent: dict[int, int] = {v: v for v in verts}
     live_edges = list(edge_list)
     rounds = 0

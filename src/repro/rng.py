@@ -1,0 +1,22 @@
+"""Seed plumbing: one coercion point for every randomised component.
+
+The determinism rules (REP-D001/REP-D002, docs/STATIC_ANALYSIS.md) ban the
+hidden module-level generator: every randomised function in this repo takes
+``seed: int | random.Random`` and coerces it through :func:`coerce_rng`.
+Passing an int pins an independent stream; passing a generator shares one
+stream across components (e.g. a whole experiment driven by a single seed).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["coerce_rng"]
+
+
+def coerce_rng(seed: int | random.Random) -> random.Random:
+    """An explicit generator: ints seed a fresh ``random.Random``; an
+    existing generator passes through untouched (shared-stream composition)."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,171 @@
+"""REP-C001/C002/C003: cost-accounting rules, firing and silent fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_of(source: str, *, cost_scope: bool = True) -> set[str]:
+    return {
+        f.rule for f in lint_source(textwrap.dedent(source), cost_scope=cost_scope)
+    }
+
+
+# ---------------------------------------------------------------- REP-C001
+
+
+VIOLATING_C001 = """
+    class Table:
+        def __init__(self, cm):
+            self.cm = cm
+            self.data = {}
+
+        def put(self, key, value):
+            '''Store one entry.'''
+            self.data[key] = value
+"""
+
+
+def test_c001_fires_on_uncharged_public_mutator():
+    assert "REP-C001" in rules_of(VIOLATING_C001)
+
+
+def test_c001_silent_when_charge_is_direct():
+    clean = """
+        class Table:
+            def __init__(self, cm):
+                self.cm = cm
+                self.data = {}
+
+            def put(self, key, value):
+                '''Store one entry.'''
+                self.cm.charge(work=1, depth=1)
+                self.data[key] = value
+    """
+    assert "REP-C001" not in rules_of(clean)
+
+
+def test_c001_silent_when_charge_is_delegated():
+    clean = """
+        class Table:
+            def __init__(self, cm):
+                self.cm = cm
+                self.data = {}
+
+            def put(self, key, value):
+                '''Store one entry.'''
+                self._put(key, value)
+
+            def _put(self, key, value):
+                self.cm.tick(1)
+                self.data[key] = value
+    """
+    assert "REP-C001" not in rules_of(clean)
+
+
+def test_c001_silent_outside_cost_scope():
+    assert "REP-C001" not in rules_of(VIOLATING_C001, cost_scope=False)
+
+
+def test_c001_silent_for_classes_without_cost_model():
+    clean = """
+        class PlainSet:
+            '''Charged by the enclosing structure.'''
+
+            def __init__(self):
+                self.items = set()
+
+            def add(self, item):
+                '''Insert one item.'''
+                self.items.add(item)
+    """
+    assert "REP-C001" not in rules_of(clean)
+
+
+def test_c001_suppression_on_def_line():
+    suppressed = """
+        class Table:
+            def __init__(self, cm):
+                self.cm = cm
+                self.data = {}
+
+            def put(self, key, value):  # reprolint: disable=REP-C001
+                '''Store one entry.'''
+                self.data[key] = value
+    """
+    assert "REP-C001" not in rules_of(suppressed)
+
+
+# ---------------------------------------------------------------- REP-C002
+
+
+def test_c002_fires_on_dead_cm_param():
+    violating = """
+        def rebuild(items, cm):
+            '''Rebuild from scratch.'''
+            return sorted(items)
+    """
+    assert "REP-C002" in rules_of(violating)
+
+
+def test_c002_silent_when_cm_forwarded():
+    clean = """
+        def rebuild(items, cm):
+            '''Rebuild from scratch.'''
+            return helper(items, cm=cm)
+    """
+    assert "REP-C002" not in rules_of(clean)
+
+
+# ---------------------------------------------------------------- REP-C003
+
+
+def test_c003_fires_on_uncharged_mutating_loop():
+    violating = """
+        class Mirror:
+            def __init__(self, cm):
+                self.cm = cm
+                self.out = {}
+
+            def sync(self, changed):
+                '''Reconcile the mirror.'''
+                for edge in changed:
+                    while edge in self.out:
+                        self.out.pop(edge)
+    """
+    report = rules_of(violating)
+    assert "REP-C003" in report
+
+
+def test_c003_silent_with_batch_granularity_charge():
+    clean = """
+        class Mirror:
+            def __init__(self, cm):
+                self.cm = cm
+                self.out = {}
+
+            def sync(self, changed):
+                '''Reconcile the mirror.'''
+                self.cm.charge(work=len(changed), depth=1)
+                for edge in changed:
+                    self.out[edge] = True
+    """
+    assert "REP-C003" not in rules_of(clean)
+
+
+def test_c003_silent_with_charge_inside_loop():
+    clean = """
+        class Mirror:
+            def __init__(self, cm):
+                self.cm = cm
+                self.out = {}
+
+            def sync(self, changed):
+                '''Reconcile the mirror.'''
+                for edge in changed:
+                    self.cm.tick(1)
+                    self.out[edge] = True
+    """
+    assert "REP-C003" not in rules_of(clean)

@@ -1,0 +1,122 @@
+"""REP-D001/D002/D003: determinism rules, firing and silent fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_of(source: str) -> set[str]:
+    return {f.rule for f in lint_source(textwrap.dedent(source))}
+
+
+# ---------------------------------------------------------------- REP-D001
+
+
+def test_d001_fires_on_global_random_call():
+    violating = """
+        import random
+
+        def pick(items):
+            '''Pick one.'''
+            return random.choice(items)
+    """
+    assert "REP-D001" in rules_of(violating)
+
+
+def test_d001_fires_on_numpy_global_generator():
+    violating = """
+        import numpy as np
+
+        def noise(n):
+            '''Random vector.'''
+            return np.random.rand(n)
+    """
+    assert "REP-D001" in rules_of(violating)
+
+
+def test_d001_silent_on_seeded_instance():
+    clean = """
+        import random
+
+        def pick(items, seed=0):
+            '''Pick one, reproducibly.'''
+            rng = random.Random(seed)
+            return rng.choice(items)
+    """
+    assert rules_of(clean) == set()
+
+
+def test_d001_inline_suppression():
+    suppressed = """
+        import random
+
+        def pick(items):
+            '''Pick one.'''
+            return random.choice(items)  # reprolint: disable=REP-D001
+    """
+    assert "REP-D001" not in rules_of(suppressed)
+
+
+# ---------------------------------------------------------------- REP-D002
+
+
+def test_d002_fires_on_unseeded_random():
+    violating = """
+        import random
+
+        def fresh():
+            '''New generator.'''
+            return random.Random()
+    """
+    assert "REP-D002" in rules_of(violating)
+
+
+def test_d002_silent_on_seeded_random():
+    clean = """
+        import random
+
+        def fresh(seed):
+            '''New generator.'''
+            return random.Random(seed)
+    """
+    assert "REP-D002" not in rules_of(clean)
+
+
+# ---------------------------------------------------------------- REP-D003
+
+
+def test_d003_fires_on_set_iteration_into_branches():
+    violating = """
+        def relabel(cm, dirty, labels):
+            '''One phase.'''
+            touched = {v for v in dirty}
+            with cm.parallel() as region:
+                for v in touched:
+                    with region.branch():
+                        cm.tick(1)
+    """
+    assert "REP-D003" in rules_of(violating)
+
+
+def test_d003_silent_when_sorted():
+    clean = """
+        def relabel(cm, dirty, labels):
+            '''One phase.'''
+            touched = {v for v in dirty}
+            with cm.parallel() as region:
+                for v in sorted(touched):
+                    with region.branch():
+                        cm.tick(1)
+    """
+    assert "REP-D003" not in rules_of(clean)
+
+
+def test_d003_fires_on_set_passed_to_parallel_map():
+    violating = """
+        def apply_all(fn, items):
+            '''Map in parallel.'''
+            return parallel_map({x for x in items}, fn)
+    """
+    assert "REP-D003" in rules_of(violating)

@@ -1,0 +1,92 @@
+"""REP-H001/H002/H003: API-hygiene rules, firing and silent fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_of(source: str) -> set[str]:
+    return {f.rule for f in lint_source(textwrap.dedent(source))}
+
+
+def test_h001_fires_on_phantom_export():
+    violating = """
+        '''Module.'''
+
+        __all__ = ["exists", "phantom"]
+
+
+        def exists():
+            '''Real.'''
+    """
+    assert "REP-H001" in rules_of(violating)
+
+
+def test_h002_fires_on_unexported_public_def():
+    violating = """
+        '''Module.'''
+
+        __all__ = ["listed"]
+
+
+        def listed():
+            '''Exported.'''
+
+
+        def unlisted():
+            '''Public but missing from __all__.'''
+    """
+    assert "REP-H002" in rules_of(violating)
+
+
+def test_h002_silent_for_private_defs():
+    clean = """
+        '''Module.'''
+
+        __all__ = ["listed"]
+
+
+        def listed():
+            '''Exported.'''
+
+
+        def _helper():
+            pass
+    """
+    assert rules_of(clean) == set()
+
+
+def test_h003_fires_on_missing_docstring():
+    violating = """
+        '''Module.'''
+
+
+        def exported():
+            return 1
+    """
+    assert "REP-H003" in rules_of(violating)
+
+
+def test_h003_silent_with_docstring():
+    clean = """
+        '''Module.'''
+
+
+        def exported():
+            '''Documented.'''
+            return 1
+    """
+    assert rules_of(clean) == set()
+
+
+def test_module_wide_suppression_comment():
+    suppressed = """
+        '''Module.'''
+
+
+        def exported():  # reprolint: disable
+            return 1
+    """
+    assert rules_of(suppressed) == set()

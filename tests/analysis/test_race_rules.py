@@ -1,0 +1,161 @@
+"""REP-R001/R002/R003: simulated-PRAM race rules, firing and silent fixtures."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def rules_of(source: str) -> set[str]:
+    return {f.rule for f in lint_source(textwrap.dedent(source))}
+
+
+# ---------------------------------------------------------------- REP-R001
+
+
+def test_r001_fires_on_shared_scalar_write():
+    violating = """
+        def phase(cm, vertices):
+            '''One phase.'''
+            changed = False
+            with cm.parallel() as region:
+                for v in sorted(vertices):
+                    with region.branch():
+                        changed = True
+            return changed
+    """
+    assert "REP-R001" in rules_of(violating)
+
+
+def test_r001_silent_on_branch_local_scalar():
+    clean = """
+        def phase(cm, vertices, updates):
+            '''One phase.'''
+            with cm.parallel() as region:
+                for v in sorted(vertices):
+                    with region.branch():
+                        best = v * 2
+                        updates.append((v, best))
+            return sorted(updates)
+    """
+    assert "REP-R001" not in rules_of(clean)
+
+
+def test_r001_fires_on_closure_write_in_parallel_worker():
+    violating = """
+        def count(cm, items):
+            '''Count items.'''
+            total = 0
+
+            def bump(item):
+                nonlocal total
+                total = total + 1
+
+            cm.pfor(items, bump)
+            return total
+    """
+    assert "REP-R001" in rules_of(violating)
+
+
+# ---------------------------------------------------------------- REP-R002
+
+
+def test_r002_fires_on_non_loop_key_write():
+    violating = """
+        def propose(cm, frontier, proposals):
+            '''Proposal round.'''
+            with cm.parallel() as region:
+                for v in sorted(frontier):
+                    with region.branch():
+                        target = v // 2
+                        proposals[target] = v
+    """
+    assert "REP-R002" in rules_of(violating)
+
+
+def test_r002_silent_on_loop_var_key():
+    clean = """
+        def mark(cm, frontier, level):
+            '''Per-vertex slot write.'''
+            with cm.parallel() as region:
+                for v in sorted(frontier):
+                    with region.branch():
+                        level[v] = 1
+    """
+    assert "REP-R002" not in rules_of(clean)
+
+
+def test_r002_suppression():
+    suppressed = """
+        def propose(cm, frontier, proposals):
+            '''Proposal round.'''
+            with cm.parallel() as region:
+                for v in sorted(frontier):
+                    with region.branch():
+                        target = v // 2
+                        proposals[target] = v  # reprolint: disable=REP-R002
+    """
+    assert "REP-R002" not in rules_of(suppressed)
+
+
+# ---------------------------------------------------------------- REP-R003
+
+
+def test_r003_fires_on_unmediated_gather():
+    violating = """
+        def gather(cm, vertices, out):
+            '''Collect results.'''
+            sends = []
+            with cm.parallel() as region:
+                for v in sorted(vertices):
+                    with region.branch():
+                        sends.append(v)
+            for v in sends:
+                out[v] = True
+    """
+    assert "REP-R003" in rules_of(violating)
+
+
+def test_r003_silent_when_sorted_before_consumption():
+    clean = """
+        def gather(cm, vertices, out):
+            '''Collect results.'''
+            sends = []
+            with cm.parallel() as region:
+                for v in sorted(vertices):
+                    with region.branch():
+                        sends.append(v)
+            for v in sorted(sends):
+                out[v] = True
+    """
+    assert "REP-R003" not in rules_of(clean)
+
+
+def test_r003_silent_when_fed_to_arbitrary_winners():
+    clean = """
+        def gather(cm, vertices):
+            '''Collect proposals.'''
+            sends = []
+            with cm.parallel() as region:
+                for v in sorted(vertices):
+                    with region.branch():
+                        sends.append((v // 2, v))
+            return arbitrary_winners(parallel_sort(sends, cm=cm), cm=cm)
+    """
+    assert "REP-R003" not in rules_of(clean)
+
+
+def test_set_add_is_exempt_commutative():
+    clean = """
+        def collect(cm, vertices):
+            '''Commutative gather.'''
+            seen = set()
+            with cm.parallel() as region:
+                for v in sorted(vertices):
+                    with region.branch():
+                        seen.add(v)
+            return seen
+    """
+    assert "REP-R003" not in rules_of(clean)
+    assert "REP-R002" not in rules_of(clean)

@@ -12,7 +12,7 @@ from repro.core import (
     LowOutDegree,
 )
 from repro.errors import BatchError, ParameterError
-from repro.graphs import DynamicGraph, generators as gen
+from repro.graphs import generators as gen
 
 
 SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
