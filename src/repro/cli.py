@@ -1,16 +1,19 @@
 """Command-line interface.
 
-Three subcommands::
+Core subcommands::
 
     repro generate --family planted --n 60 --m 200 --pattern churn \\
                    --batch-size 16 --out trace.txt
     repro run      --trace trace.txt --mode both --eps 0.35
     repro exact    --trace trace.txt
+    repro chaos    --structure all --trials 10 --faults 2 --seed 0
 
 ``generate`` writes a batch-update trace (see repro.graphs.tracefile);
 ``run`` replays it through the batch-dynamic structures and reports the
 maintained estimates plus work/depth metrics; ``exact`` replays it into a
-plain graph and reports the exact measures for comparison.
+plain graph and reports the exact measures for comparison; ``chaos``
+soaks the structures under seeded fault injection (docs/ROBUSTNESS.md)
+and reports which recovery tiers fired.
 """
 
 from __future__ import annotations
@@ -135,6 +138,31 @@ def cmd_exact(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Chaos-soak the dynamic structures under seeded fault injection."""
+    from .resilience.chaos import STRUCTURES, chaos_soak, render_soak_summary
+
+    targets = list(STRUCTURES) if args.structure == "all" else [args.structure]
+    reports = []
+    for structure in targets:
+        report = chaos_soak(
+            structure,
+            trials=args.trials,
+            seed=args.seed,
+            n=args.n,
+            batches=args.batches,
+            batch_size=args.batch_size,
+            faults_per_trial=args.faults,
+            constants=CONSTANTS,
+            deep_audit=not args.no_deep_audit,
+        )
+        reports.append(report)
+        print(report.render())
+        print()
+    print(render_soak_summary(reports))
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_lint(args) -> int:
     """Run reprolint (see docs/STATIC_ANALYSIS.md) over the given paths."""
     from .analysis.cli import main as lint_main
@@ -199,6 +227,25 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--deep-every", type=int, default=0,
                    help="also audit estimate bands every N batches (slow)")
     v.set_defaults(func=cmd_verify)
+
+    c = sub.add_parser(
+        "chaos", help="soak the structures under seeded fault injection"
+    )
+    c.add_argument(
+        "--structure",
+        default="all",
+        choices=["all", "balanced", "coreness", "density"],
+    )
+    c.add_argument("--trials", type=int, default=10)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--n", type=int, default=24)
+    c.add_argument("--batches", type=int, default=20)
+    c.add_argument("--batch-size", type=int, default=6)
+    c.add_argument("--faults", type=int, default=2,
+                   help="planned fault injections per trial")
+    c.add_argument("--no-deep-audit", action="store_true",
+                   help="skip the exact-oracle band audits")
+    c.set_defaults(func=cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="run reprolint (static invariant checks) over the tree"

@@ -40,6 +40,13 @@ class Constants:
         generous.
     bundle_safety:
         Same for bundle-extraction rounds (Lemma 4.15, ``O(H**2)`` rounds).
+    convergence_slack:
+        Additive slack on every :class:`~repro.errors.ConvergenceError`
+        round bound (the bound is ``safety * poly(H) + convergence_slack``),
+        covering the degenerate ``H = 0``-ish corners where the polynomial
+        term alone rounds to nothing.  The chaos harness sets this (and the
+        multiplicative factors) to 0 to provoke the error path
+        deterministically; see docs/ROBUSTNESS.md.
     ladder_base_eps:
         Default ``eps`` used by the unconditional ladders (Theorems 1.1 and
         1.2) when the caller does not pass one.
@@ -56,6 +63,7 @@ class Constants:
     min_B: int = 4
     phase_safety: int = 8
     bundle_safety: int = 8
+    convergence_slack: int = 3
     ladder_base_eps: float = 0.25
     duplication_cap: int = 9
     # Ablation switch (benchmark E15): revert deviation D1 and run the

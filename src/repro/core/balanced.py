@@ -38,6 +38,7 @@ from ..config import DEFAULT_CONSTANTS, Constants, check_height
 from ..errors import BatchError, InvariantViolation
 from ..graphs.graph import Edge, norm_edge
 from ..instrument.work_depth import CostModel
+from ..resilience.guard import Transactional
 from .inindex import InIndex
 from .levels import is_h_balanced_edge, levkey
 from .outset import OutSet
@@ -46,7 +47,7 @@ from .outset import OutSet
 ArcKey = tuple[int, int]
 
 
-class BalancedOrientation:
+class BalancedOrientation(Transactional):
     """Deterministic batch-dynamic H-balanced orientation."""
 
     def __init__(
@@ -360,7 +361,10 @@ class BalancedOrientation:
 
         pending = list(batch)
         rounds = 0
-        bound = self.constants.bundle_safety * (self.H + 1) ** 2 + 3
+        bound = (
+            self.constants.bundle_safety * (self.H + 1) ** 2
+            + self.constants.convergence_slack
+        )
         while pending:
             # edges whose endpoints are both saturated insert freely (§4.2.2)
             free = [
@@ -441,6 +445,11 @@ class BalancedOrientation:
             if self.level.get(v, 0) != len(outset):
                 raise InvariantViolation(
                     f"level[{v}] = {self.level.get(v, 0)} != |out| = {len(outset)}"
+                )
+        for v, lvl in self.level.items():
+            if lvl and v not in self.out:
+                raise InvariantViolation(
+                    f"level[{v}] = {lvl} but {v} has no out-set"
                 )
         for v, outset in self.out.items():
             lv = self.level.get(v, 0)

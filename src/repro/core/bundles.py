@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..pram.primitives import arbitrary_winners
 from ..pram.sorting import parallel_sort
+from ..resilience import faults as _faults
 from .balanced import BalancedOrientation
 
 
@@ -26,6 +27,8 @@ def extract_token_bundle(
 
     Returns directed bundle arcs ``(tail, head, copy)``.
     """
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.fire("bundles.extract", st)
     proposals: list[tuple[int, tuple[int, int, int]]] = []
     for u, v, c in pending:
         du, dv = st.outdegree(u), st.outdegree(v)
@@ -47,6 +50,8 @@ def extract_token_bundle(
 
 def partition_deletion_tokens(tokens: dict[int, int]) -> list[list[int]]:
     """Round-robin the token multiset into bundles of distinct vertices."""
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.fire("bundles.partition")
     if not tokens:
         return []
     rounds = max(tokens.values())

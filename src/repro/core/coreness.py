@@ -17,10 +17,11 @@ from typing import Iterable, Optional, Sequence
 
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, ladder_heights
 from ..instrument.work_depth import CostModel
+from ..resilience.guard import Transactional
 from .coreness_fixed import FixedHCorenessEstimator
 
 
-class CorenessDecomposition:
+class CorenessDecomposition(Transactional):
     """Batch-dynamic ``(4 + eps)``-approximate coreness for all vertices."""
 
     def __init__(
@@ -35,6 +36,9 @@ class CorenessDecomposition:
         self.n = n
         self.eps = check_eps(eps)
         self.cm = cm if cm is not None else CostModel()
+        self.constants = constants
+        self.seed = seed
+        self.h_max = h_max
         self.heights: list[int] = ladder_heights(n, eps, h_max)
         self.rungs: list[FixedHCorenessEstimator] = [
             FixedHCorenessEstimator(

@@ -17,10 +17,11 @@ from typing import Iterable, Optional
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, ladder_heights
 from ..errors import InvariantViolation
 from ..instrument.work_depth import CostModel
+from ..resilience.guard import Transactional
 from .density_fixed import FixedHDensityGuard
 
 
-class DensityEstimator:
+class DensityEstimator(Transactional):
     """Batch-dynamic ``(1 + eps)`` density estimate + low out-degree orientation."""
 
     def __init__(
@@ -35,6 +36,9 @@ class DensityEstimator:
         self.n = n
         self.eps = check_eps(eps)
         self.cm = cm if cm is not None else CostModel()
+        self.constants = constants
+        self.seed = seed
+        self.h_max = h_max
         self.heights: list[int] = ladder_heights(n, eps, h_max)
         self.rungs: list[FixedHDensityGuard] = [
             FixedHDensityGuard(

@@ -35,6 +35,7 @@ from typing import Iterable
 from ..errors import ConvergenceError
 from ..pram.primitives import arbitrary_winners
 from ..pram.sorting import parallel_sort
+from ..resilience import faults as _faults
 from .balanced import BalancedOrientation
 
 
@@ -53,7 +54,7 @@ def run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -
     if len(token) != len(bundle):
         raise AssertionError("token bundle tails are not distinct (Def. 4.6)")
 
-    bound = st.constants.phase_safety * (H + 1) ** 3 + 3
+    bound = st.constants.phase_safety * (H + 1) ** 3 + st.constants.convergence_slack
     phases = 0
     while True:
         phases += 1
@@ -61,6 +62,8 @@ def run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -
             raise ConvergenceError(
                 f"token-dropping exceeded {bound} phases (Lemma 4.8 bound)"
             )
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("tokens.drop.phase", st)
         frontier = sorted(v for v in token if st.level.get(v, 0) < H)
         proposals: list[tuple[int, tuple[int, int]]] = []
         with st.cm.parallel() as region:
@@ -89,6 +92,8 @@ def run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -
         st.cm.count("drop_phases")
 
     # settlement (Lemma 4.14 closing step): resting tokens become +1 level
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.fire("tokens.drop.settle", st)
     with st.cm.parallel() as region:
         for v in sorted(token):
             with region.branch():
@@ -105,7 +110,7 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
     pending_dec: dict[int, int] = {v: 1 for v in token}
     labeled: set[int] = set()
 
-    bound = st.constants.phase_safety * (H + 1) ** 3 + 3
+    bound = st.constants.phase_safety * (H + 1) ** 3 + st.constants.convergence_slack
     phases = 0
     while True:
         phases += 1
@@ -113,6 +118,8 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
             raise ConvergenceError(
                 f"token-pushing exceeded {bound} phases (Lemma 4.18 bound)"
             )
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("tokens.push.phase", st)
         S = {v for v in token if st.level.get(v, 0) < H}
         # phase-start labels: 2*[in S] + [occupied] on every occupied vertex
         stale = sorted(labeled - token)
@@ -196,6 +203,8 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
                 st._apply_vertex_label(u, 0)
 
     # settlement: every absorbed token is one out-degree decrement
+    if _faults.ACTIVE is not None:
+        _faults.ACTIVE.fire("tokens.push.settle", st)
     with st.cm.parallel() as region:
         for v in sorted(pending_dec):
             dec = pending_dec[v]

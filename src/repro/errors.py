@@ -45,3 +45,36 @@ class CapacityError(ReproError):
     """A density/arboricity hint was exceeded where the algorithm requires it
     as a hard promise (e.g. ``rho_max`` in the matching/coloring corollaries).
     """
+
+
+class TraceError(ReproError):
+    """A trace file is truncated or corrupt.
+
+    Raised by :func:`repro.graphs.tracefile.read_trace` when a sealed trace's
+    end marker is missing, its batch count disagrees with the body, or its
+    checksum does not match — never silently yielding a partial stream, so
+    WAL-style replay (``repro.resilience.recovery``) can trust what it reads.
+    """
+
+
+class FaultInjected(ReproError):
+    """A deliberately injected fault fired (``repro.resilience.faults``).
+
+    Only ever raised while a :class:`~repro.resilience.faults.FaultInjector`
+    is active; production code paths never construct it.  Chaos tests catch
+    it to verify the transactional rollback and recovery tiers.
+    """
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"injected fault at site {site!r} (hit #{hit})")
+        self.site = site
+        self.hit = hit
+
+
+class RecoveryError(ReproError):
+    """Every recovery tier failed to restore a healthy structure.
+
+    Raised by :class:`~repro.resilience.recovery.RecoveryManager` after
+    rollback, checkpoint + replay *and* full rebuild all left the structure
+    failing its audit — the batch could not be applied safely.
+    """

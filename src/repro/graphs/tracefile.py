@@ -9,33 +9,145 @@ A trace is a plain text file, one batch per line::
 The format is deliberately trivial: it round-trips through
 :func:`write_trace`/:func:`read_trace`, diffs cleanly, and any external
 tool (or the CLI's ``generate`` subcommand) can produce it.
+
+Sealed traces end with an integrity footer::
+
+    # repro-trace-end batches=12 crc32=1a2b3c4d
+
+covering every byte before it.  :func:`read_trace` verifies the footer
+when present (truncated or corrupt files raise
+:class:`~repro.errors.TraceError`) and tolerates its absence for
+hand-written traces; ``strict=True`` demands it — the mode the recovery
+manager uses for its write-ahead log, where a torn tail must never be
+replayed silently.  :class:`TraceWriter` appends batches incrementally
+(flushing each line, WAL-style) and writes the footer on ``close``.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Iterable, Sequence
+import zlib
+from typing import Iterable, Optional, Sequence
 
-from ..errors import BatchError
+from ..errors import BatchError, TraceError
 from .graph import norm_edge
 from .streams import BatchOp
 
+_FOOTER_PREFIX = "# repro-trace-end "
 
-def write_trace(ops: Iterable[BatchOp], path: str | pathlib.Path) -> int:
-    """Write a stream to a trace file; returns the number of batches."""
-    lines = []
-    for op in ops:
-        letter = "I" if op.kind == "insert" else "D"
-        flat = " ".join(f"{u} {v}" for u, v in op.edges)
-        lines.append(f"{letter} {flat}")
-    pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+def _footer(batches: int, crc: int) -> str:
+    return f"{_FOOTER_PREFIX}batches={batches} crc32={crc & 0xFFFFFFFF:08x}"
+
+
+def _format_op(op: BatchOp) -> str:
+    letter = "I" if op.kind == "insert" else "D"
+    flat = " ".join(f"{u} {v}" for u, v in op.edges)
+    return f"{letter} {flat}"
+
+
+def write_trace(
+    ops: Iterable[BatchOp], path: str | pathlib.Path, footer: bool = True
+) -> int:
+    """Write a stream to a trace file; returns the number of batches.
+
+    With ``footer=True`` (the default) the file is sealed with the
+    integrity footer; pass ``footer=False`` for the bare legacy format.
+    """
+    lines = [_format_op(op) for op in ops]
+    body = "\n".join(lines) + ("\n" if lines else "")
+    text = body
+    if footer:
+        text += _footer(len(lines), zlib.crc32(body.encode())) + "\n"
+    pathlib.Path(path).write_text(text)
     return len(lines)
 
 
-def read_trace(path: str | pathlib.Path) -> list[BatchOp]:
-    """Parse a trace file into a list of batch operations."""
+class TraceWriter:
+    """Incremental (write-ahead-log style) trace writer.
+
+    Each :meth:`append` writes and flushes one batch line, so a crash
+    loses at most the batch being written — and the missing footer marks
+    the file as unsealed, which ``read_trace(strict=True)`` reports as a
+    :class:`~repro.errors.TraceError` instead of silently replaying a
+    torn log.  :meth:`close` seals the file with the integrity footer.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._fh = open(self.path, "w")
+        self._crc = 0
+        self.batches = 0
+
+    def append(self, op: BatchOp) -> None:
+        if self._fh is None:
+            raise TraceError(f"{self.path}: trace already sealed")
+        line = _format_op(op) + "\n"
+        self._fh.write(line)
+        self._fh.flush()
+        self._crc = zlib.crc32(line.encode(), self._crc)
+        self.batches += 1
+
+    def close(self) -> None:
+        """Seal the trace with the integrity footer (idempotent)."""
+        if self._fh is None:
+            return
+        self._fh.write(_footer(self.batches, self._crc) + "\n")
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _split_footer(text: str, path: object) -> tuple[str, Optional[tuple[int, int]]]:
+    """Split raw trace text into (body, footer-fields or None)."""
+    lines = text.splitlines(keepends=True)
+    for i, raw in enumerate(lines):
+        if not raw.strip().startswith(_FOOTER_PREFIX.strip()):
+            continue
+        if any(line.strip() for line in lines[i + 1 :]):
+            raise TraceError(f"{path}: content after end-of-trace footer")
+        fields = dict(
+            part.split("=", 1) for part in raw.strip().split() if "=" in part
+        )
+        try:
+            batches = int(fields["batches"])
+            crc = int(fields["crc32"], 16)
+        except (KeyError, ValueError) as exc:
+            raise TraceError(f"{path}: malformed end-of-trace footer") from exc
+        return "".join(lines[:i]), (batches, crc)
+    return text, None
+
+
+def read_trace(path: str | pathlib.Path, strict: bool = False) -> list[BatchOp]:
+    """Parse a trace file into a list of batch operations.
+
+    When the file carries an end-of-trace footer, the batch count and
+    CRC-32 are verified and any mismatch (truncation, corruption, torn
+    writes) raises :class:`~repro.errors.TraceError`.  ``strict=True``
+    additionally rejects files with no footer at all.
+    """
+    text = pathlib.Path(path).read_text()
+    body, sealed = _split_footer(text, path)
+    if sealed is None and strict:
+        raise TraceError(
+            f"{path}: missing end-of-trace footer — the trace was never "
+            "sealed (torn write-ahead log?) or predates the footer format"
+        )
+    if sealed is not None:
+        expected_batches, expected_crc = sealed
+        actual_crc = zlib.crc32(body.encode())
+        if actual_crc != expected_crc:
+            raise TraceError(
+                f"{path}: body CRC-32 {actual_crc:08x} does not match the "
+                f"footer's {expected_crc:08x} — the trace is corrupt"
+            )
     ops: list[BatchOp] = []
-    for lineno, raw in enumerate(pathlib.Path(path).read_text().splitlines(), 1):
+    for lineno, raw in enumerate(body.splitlines(), 1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -53,6 +165,11 @@ def read_trace(path: str | pathlib.Path) -> list[BatchOp]:
             norm_edge(values[i], values[i + 1]) for i in range(0, len(values), 2)
         )
         ops.append(BatchOp("insert" if kind_letter == "I" else "delete", edges))
+    if sealed is not None and len(ops) != sealed[0]:
+        raise TraceError(
+            f"{path}: footer promises {sealed[0]} batches but the body "
+            f"holds {len(ops)} — the trace is truncated or corrupt"
+        )
     return ops
 
 

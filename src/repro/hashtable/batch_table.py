@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Hashable, Iterable, Iterator, Mapping, Optional
 
 from ..instrument.work_depth import CostModel
+from ..resilience import faults as _faults
 
 
 def log_star(n: float) -> int:
@@ -46,6 +47,8 @@ class BatchHashTable:
 
     def batch_set(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
         """Insert/overwrite a batch of (key, value) pairs."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("hashtable.batch_set", self)
         pairs = list(pairs)
         for key, value in pairs:
             self._data[key] = value
@@ -53,6 +56,8 @@ class BatchHashTable:
 
     def batch_delete(self, keys: Iterable[Hashable]) -> int:
         """Delete a batch of keys; absent keys are ignored (count returned)."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("hashtable.batch_delete", self)
         keys = list(keys)
         removed = 0
         for key in keys:

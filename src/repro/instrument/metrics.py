@@ -109,6 +109,48 @@ class BatchTimer:
         )
 
 
+# -- recovery accounting ------------------------------------------------------
+
+#: Batch outcomes in escalation order (see ``repro.resilience.recovery``):
+#: ``ok`` — applied cleanly; ``rollback`` — tier 1 (transactional rollback +
+#: retry); ``checkpoint`` — tier 2 (restore checkpoint + WAL suffix replay);
+#: ``rebuild`` — tier 3 (full reconstruction from the ground-truth graph).
+RECOVERY_TIERS: tuple[str, ...] = ("ok", "rollback", "checkpoint", "rebuild")
+
+
+@dataclass
+class RecoveryStats:
+    """Which recovery tier resolved each batch — the resilience scoreboard."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def record(self, outcome: str) -> None:
+        if outcome not in RECOVERY_TIERS:
+            raise ValueError(f"unknown recovery outcome {outcome!r}")
+        self.counts[outcome] = self.counts.get(outcome, 0) + 1
+
+    def merge(self, other: "RecoveryStats") -> None:
+        for outcome, count in other.counts.items():
+            self.counts[outcome] = self.counts.get(outcome, 0) + count
+
+    @property
+    def batches(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def recoveries(self) -> int:
+        """Batches that needed any tier above 'ok'."""
+        return self.batches - self.counts.get("ok", 0)
+
+    def render(self) -> str:
+        rows = [
+            [tier, self.counts.get(tier, 0)]
+            for tier in RECOVERY_TIERS
+            if tier in self.counts
+        ]
+        return render_table(["outcome", "batches"], rows)
+
+
 # -- plain-text rendering ----------------------------------------------------
 
 

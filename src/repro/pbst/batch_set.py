@@ -14,6 +14,7 @@ import math
 from typing import Any, Iterable, Iterator, Optional
 
 from ..instrument.work_depth import CostModel
+from ..resilience import faults as _faults
 from .treap import Treap
 
 
@@ -42,6 +43,8 @@ class BatchOrderedSet:
         Charged ``O(log n)`` work per element and ``O(log n)`` depth for the
         whole batch, matching [PP01] in CRCW PRAM.
         """
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("pbst.batch_insert", self)
         keys = list(keys)
         added = 0
         for key in keys:
@@ -52,6 +55,8 @@ class BatchOrderedSet:
 
     def batch_delete(self, keys: Iterable[Any]) -> int:
         """Delete a batch; returns the number of keys actually removed."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("pbst.batch_delete", self)
         keys = list(keys)
         removed = 0
         for key in keys:

@@ -1,0 +1,221 @@
+"""Chaos soak harness — randomized fault injection over replayed streams.
+
+One *trial* = one structure, one generated update stream, one seeded
+:class:`~repro.resilience.faults.FaultInjector` plan.  The stream is
+applied through a :class:`~repro.resilience.recovery.RecoveryManager`
+while faults fire at the instrumented sites; afterwards the trial is
+judged by the full post-recovery audits:
+
+* the managed structure's invariants and (for an orientation) its arc
+  set against the ground-truth graph;
+* a fault-free :func:`~repro.core.verify.replay_audit` of the committed
+  history (orientation trials);
+* the coreness/density approximation bands against the exact oracles
+  (ladder trials).
+
+The soak aggregates the per-trial
+:class:`~repro.instrument.metrics.RecoveryStats` scoreboards into a
+:class:`ChaosReport`; ``report.ok`` means every injected fault was
+recovered and every audit came back green.  Everything is seeded — a
+failing ``(structure, seed, trial)`` triple replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..config import DEFAULT_CONSTANTS, Constants
+from ..core.balanced import BalancedOrientation
+from ..core.coreness import CorenessDecomposition
+from ..core.density import DensityEstimator
+from ..core.verify import audit_coreness, audit_density, replay_audit
+from ..errors import ParameterError, RecoveryError
+from ..graphs.graph import norm_edge
+from ..graphs.streams import BatchOp, churn, insert_then_delete, sliding_window
+from ..instrument.metrics import RecoveryStats, render_table
+from .faults import SITES, FaultInjector, injecting
+from .recovery import RecoveryManager
+
+STRUCTURES = ("balanced", "coreness", "density")
+_STREAM_KINDS = ("churn", "insert_then_delete", "sliding_window")
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of a chaos soak."""
+
+    structure: str
+    trials: int = 0
+    batches: int = 0
+    faults_planned: int = 0
+    faults_fired: int = 0
+    stats: RecoveryStats = field(default_factory=RecoveryStats)
+    findings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak [{self.structure}]: "
+            f"{'GREEN' if self.ok else 'RED'} — "
+            f"{self.trials} trials, {self.batches} batches, "
+            f"{self.faults_fired}/{self.faults_planned} planned faults fired",
+            self.stats.render(),
+        ]
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  - {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _random_edges(rng: random.Random, n: int, count: int) -> list[tuple[int, int]]:
+    edges: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(edges) < count and attempts < 50 * count + 100:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add(norm_edge(u, v))
+    return sorted(edges)
+
+
+def _make_stream(
+    kind: str, n: int, batches: int, batch_size: int, seed: int
+) -> list[BatchOp]:
+    rng = random.Random(seed)
+    if kind == "churn":
+        return churn(n, batches, batch_size, seed=rng)
+    edges = _random_edges(rng, n, max(1, (batches * batch_size) // 2))
+    if kind == "insert_then_delete":
+        return insert_then_delete(edges, batch_size, seed=rng)
+    return sliding_window(edges, window=2, batch_size=batch_size)
+
+
+def _make_structure(
+    structure: str, n: int, H: int, eps: float, seed: int, constants: Constants
+):
+    if structure == "balanced":
+        return BalancedOrientation(H, constants=constants)
+    if structure == "coreness":
+        return CorenessDecomposition(n, eps=eps, constants=constants, seed=seed)
+    if structure == "density":
+        return DensityEstimator(n, eps=eps, constants=constants, seed=seed)
+    raise ParameterError(
+        f"unknown structure {structure!r}; expected one of {STRUCTURES}"
+    )
+
+
+def chaos_soak(
+    structure: str = "balanced",
+    *,
+    trials: int = 10,
+    seed: int = 0,
+    n: int = 24,
+    batches: int = 20,
+    batch_size: int = 6,
+    faults_per_trial: int = 2,
+    H: int = 4,
+    eps: float = 0.35,
+    checkpoint_every: int = 5,
+    audit_every: int = 1,
+    constants: Constants = DEFAULT_CONSTANTS,
+    sites: Optional[Sequence[str]] = None,
+    deep_audit: bool = True,
+) -> ChaosReport:
+    """Run ``trials`` seeded fault-injection trials; fully deterministic.
+
+    Stream shapes rotate per trial through churn / insert-then-delete /
+    sliding-window so inserts, deletes and mixed workloads all see
+    faults.  ``deep_audit=False`` skips the exact-oracle band audits
+    (the per-batch health checks and replay audit still run).
+    """
+    report = ChaosReport(structure=structure)
+    site_pool = tuple(sites) if sites is not None else tuple(sorted(SITES))
+    for trial in range(trials):
+        trial_seed = seed * 7919 + trial
+        kind = _STREAM_KINDS[trial % len(_STREAM_KINDS)]
+        ops = _make_stream(kind, n, batches, batch_size, trial_seed)
+        st = _make_structure(structure, n, H, eps, trial_seed, constants)
+        manager = RecoveryManager(
+            st,
+            checkpoint_every=checkpoint_every,
+            audit_every=audit_every,
+        )
+        injector = FaultInjector.plan(
+            seed=trial_seed ^ 0x5EED, count=faults_per_trial, sites=site_pool
+        )
+        report.faults_planned += len(injector.pending)
+        tag = f"trial {trial} ({kind}, seed {trial_seed})"
+        with injecting(injector):
+            for op in ops:
+                try:
+                    manager.apply(op)
+                except RecoveryError as exc:
+                    report.findings.append(f"{tag}: unrecovered batch: {exc}")
+                    break
+        report.faults_fired += len(injector.fired)
+        report.trials += 1
+        report.batches += manager.stats.batches
+        report.stats.merge(manager.stats)
+        _audit_trial(report, manager, tag, H, deep_audit)
+    return report
+
+
+def _audit_trial(
+    report: ChaosReport,
+    manager: RecoveryManager,
+    tag: str,
+    H: int,
+    deep_audit: bool,
+) -> None:
+    final = manager.audit()
+    if not final.ok:
+        report.findings.append(f"{tag}: final audit red: {final.render()}")
+        return
+    st = manager.structure
+    if isinstance(st, BalancedOrientation):
+        replay = replay_audit(manager.history, H=H, constants=st.constants)
+        if not replay.ok:
+            report.findings.append(f"{tag}: replay audit red: {replay.render()}")
+    elif deep_audit:
+        if isinstance(st, CorenessDecomposition):
+            band = audit_coreness(st, manager.graph)
+        else:
+            band = audit_density(st, manager.graph)
+        if not band.ok:
+            report.findings.append(f"{tag}: band audit red: {band.render()}")
+
+
+def render_soak_summary(reports: Sequence[ChaosReport]) -> str:
+    """One table over several structure soaks (the E20 report format)."""
+    rows = []
+    for r in reports:
+        rows.append(
+            [
+                r.structure,
+                r.trials,
+                r.batches,
+                r.faults_fired,
+                r.stats.counts.get("rollback", 0),
+                r.stats.counts.get("checkpoint", 0),
+                r.stats.counts.get("rebuild", 0),
+                "GREEN" if r.ok else "RED",
+            ]
+        )
+    return render_table(
+        [
+            "structure",
+            "trials",
+            "batches",
+            "faults",
+            "t1 rollback",
+            "t2 checkpoint",
+            "t3 rebuild",
+            "verdict",
+        ],
+        rows,
+    )

@@ -1,0 +1,41 @@
+"""The ConvergenceError bound is governed by named Constants fields.
+
+The round bounds of the token games are ``phase_safety * (H+1)^3 +
+convergence_slack`` (and ``bundle_safety * (H+1)^2 + convergence_slack``
+for bundle extraction).  Zeroing every named factor makes any non-trivial
+game overshoot immediately — the deterministic way to exercise the
+ConvergenceError path that the chaos harness and these tests rely on.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CONSTANTS, Constants
+from repro.core.balanced import BalancedOrientation
+from repro.errors import ConvergenceError
+
+EDGES = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3)]
+
+
+def test_default_slack_is_named_and_positive():
+    assert DEFAULT_CONSTANTS.convergence_slack >= 1
+
+
+def test_default_constants_converge():
+    st = BalancedOrientation(2)
+    st.insert_batch(EDGES)
+    st.check_invariants()
+
+
+def test_zeroed_bounds_raise_convergence_error():
+    tight = Constants(phase_safety=0, bundle_safety=0, convergence_slack=0)
+    st = BalancedOrientation(2, constants=tight)
+    with pytest.raises(ConvergenceError):
+        st.insert_batch(EDGES)
+
+
+def test_slack_alone_can_rescue_tiny_games():
+    """With safety factors zeroed, the additive slack is the entire budget."""
+    generous = Constants(phase_safety=0, bundle_safety=0, convergence_slack=1000)
+    st = BalancedOrientation(2, constants=generous)
+    st.insert_batch(EDGES)
+    st.check_invariants()

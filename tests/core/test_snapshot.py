@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import BalancedOrientation
 from repro.core.snapshot import from_json, restore, snapshot, to_json
-from repro.errors import InvariantViolation
+from repro.errors import BatchError, InvariantViolation
 from repro.graphs import generators as gen, streams
 
 
@@ -80,3 +80,60 @@ class TestCorruptedSnapshots:
         }
         with pytest.raises(InvariantViolation):
             restore(snap)
+
+
+class TestMalformedSnapshots:
+    """Truncated/garbled snapshots raise BatchError naming the problem."""
+
+    def test_not_a_mapping(self):
+        with pytest.raises(BatchError, match="must be a mapping"):
+            restore([1, 2, 3])
+
+    def test_missing_keys(self):
+        with pytest.raises(BatchError, match="missing key 'arcs'"):
+            restore({"H": 3, "levels": {}})
+
+    def test_non_integer_h(self):
+        with pytest.raises(BatchError, match="H must be an integer"):
+            restore({"H": "tall", "arcs": [], "levels": {}})
+
+    def test_bad_arc_shape(self):
+        with pytest.raises(BatchError, match="arc #0"):
+            restore({"H": 3, "arcs": [(0, 1)], "levels": {}})
+
+    def test_non_integer_arc_field(self):
+        with pytest.raises(BatchError, match="arc #0"):
+            restore({"H": 3, "arcs": [(0, "x", 0)], "levels": {}})
+
+    def test_self_loop_arc(self):
+        with pytest.raises(BatchError, match="self-loop"):
+            restore({"H": 3, "arcs": [(2, 2, 0)], "levels": {2: 1}})
+
+    def test_bad_levels_shape(self):
+        with pytest.raises(BatchError, match="'levels'"):
+            restore({"H": 3, "arcs": [], "levels": [1, 2]})
+
+    def test_fractional_level(self):
+        with pytest.raises(BatchError, match="level"):
+            restore({"H": 3, "arcs": [], "levels": {0: 1.5}})
+
+    def test_from_json_garbage(self):
+        with pytest.raises(BatchError, match="not valid JSON"):
+            from_json("{oops")
+
+    def test_from_json_wrong_type(self):
+        with pytest.raises(BatchError, match="JSON object"):
+            from_json("[1, 2]")
+
+    def test_from_json_truncated(self):
+        with pytest.raises(BatchError, match="missing key"):
+            from_json('{"H": 3, "arcs": []}')
+
+    def test_restore_charges_cost_model(self):
+        st = build()
+        snap = snapshot(st)
+        from repro.instrument.work_depth import CostModel
+
+        cm = CostModel()
+        restore(snap, cm=cm)
+        assert cm.snapshot().work >= len(snap["arcs"])

@@ -2,10 +2,15 @@
 
 import pytest
 
-from repro.errors import BatchError
+from repro.errors import BatchError, TraceError
 from repro.graphs import generators as gen, streams
 from repro.graphs.streams import BatchOp
-from repro.graphs.tracefile import read_trace, validate_trace, write_trace
+from repro.graphs.tracefile import (
+    TraceWriter,
+    read_trace,
+    validate_trace,
+    write_trace,
+)
 
 
 class TestRoundtrip:
@@ -72,3 +77,96 @@ class TestValidate:
     def test_duplicate_within_batch_rejected(self):
         with pytest.raises(BatchError):
             validate_trace([BatchOp("insert", ((0, 1), (0, 1)))])
+
+
+class TestIntegrityFooter:
+    """The checksum footer catches truncation and corruption (TraceError)."""
+
+    def _ops(self):
+        _, edges = gen.clique(5)
+        return streams.insert_then_delete(edges, 4, seed=1)
+
+    def test_sealed_roundtrip(self, tmp_path):
+        path = tmp_path / "sealed.txt"
+        ops = self._ops()
+        write_trace(ops, path)
+        assert "# repro-trace-end" in path.read_text()
+        assert read_trace(path, strict=True) == ops
+
+    def test_footerless_legacy_still_reads(self, tmp_path):
+        path = tmp_path / "legacy.txt"
+        write_trace(self._ops(), path, footer=False)
+        assert read_trace(path) == self._ops()
+        with pytest.raises(TraceError, match="missing end-of-trace footer"):
+            read_trace(path, strict=True)
+
+    def test_truncated_body_detected(self, tmp_path):
+        path = tmp_path / "trunc.txt"
+        write_trace(self._ops(), path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")  # drop the first batch
+        with pytest.raises(TraceError, match="CRC-32"):
+            read_trace(path)
+
+    def test_flipped_byte_detected(self, tmp_path):
+        path = tmp_path / "flip.txt"
+        write_trace(self._ops(), path)
+        text = path.read_text()
+        body_end = text.index("# repro-trace-end")
+        corrupted = text[: body_end - 3] + ("9" if text[body_end - 3] != "9" else "8") + text[body_end - 2 :]
+        path.write_text(corrupted)
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_malformed_footer_detected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("I 0 1\n# repro-trace-end batches=x crc32=zz\n")
+        with pytest.raises(TraceError, match="malformed"):
+            read_trace(path)
+
+    def test_content_after_footer_detected(self, tmp_path):
+        path = tmp_path / "tail.txt"
+        write_trace(self._ops(), path)
+        with open(path, "a") as fh:
+            fh.write("I 9 10\n")
+        with pytest.raises(TraceError, match="after end-of-trace"):
+            read_trace(path)
+
+    def test_empty_sealed_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_trace([], path)
+        assert read_trace(path, strict=True) == []
+
+
+class TestTraceWriter:
+    def test_incremental_then_seal(self, tmp_path):
+        _, edges = gen.clique(4)
+        ops = streams.insert_only(edges, 3)
+        path = tmp_path / "wal.txt"
+        with TraceWriter(path) as writer:
+            for op in ops:
+                writer.append(op)
+            # unsealed mid-stream: tolerant read works, strict refuses
+            assert read_trace(path) == ops
+            with pytest.raises(TraceError):
+                read_trace(path, strict=True)
+        assert read_trace(path, strict=True) == ops
+
+    def test_append_after_seal_rejected(self, tmp_path):
+        path = tmp_path / "done.txt"
+        writer = TraceWriter(path)
+        writer.append(BatchOp("insert", ((0, 1),)))
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(TraceError, match="sealed"):
+            writer.append(BatchOp("insert", ((1, 2),)))
+
+    def test_writer_matches_write_trace(self, tmp_path):
+        _, edges = gen.clique(4)
+        ops = streams.insert_then_delete(edges, 2, seed=0)
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        write_trace(ops, a)
+        with TraceWriter(b) as writer:
+            for op in ops:
+                writer.append(op)
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,123 @@
+"""Ladder-wide checkpoints: exact roundtrip, validation of bad payloads."""
+
+import json
+
+import pytest
+
+from repro.core.balanced import BalancedOrientation
+from repro.core.coreness import CorenessDecomposition
+from repro.core.density import DensityEstimator
+from repro.errors import BatchError
+from repro.resilience import checkpoint as cp
+from repro.resilience.guard import capture
+
+EDGES = [
+    (0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (0, 3),
+    (3, 4), (2, 4), (4, 5), (0, 5), (1, 5), (2, 5),
+]
+
+
+def _ladder(cls):
+    st = cls(12, eps=0.35, seed=4)
+    st.insert_batch(EDGES[:8])
+    st.delete_batch(EDGES[2:5])
+    return st
+
+
+@pytest.mark.parametrize("cls", [CorenessDecomposition, DensityEstimator])
+class TestLadderRoundtrip:
+    def test_roundtrip_is_canonical(self, cls):
+        st = _ladder(cls)
+        restored = cp.from_json(cp.to_json(st))
+        assert cp.checkpoint(st) == cp.checkpoint(restored)
+        restored.check_invariants()
+
+    def test_restored_structure_keeps_answering(self, cls):
+        st = _ladder(cls)
+        restored = cp.from_json(cp.to_json(st))
+        st.insert_batch(EDGES[8:])
+        restored.insert_batch(EDGES[8:])
+        assert cp.checkpoint(st) == cp.checkpoint(restored)
+        if cls is CorenessDecomposition:
+            assert st.estimates() == restored.estimates()
+        else:
+            assert st.density_estimate() == restored.density_estimate()
+            assert st.max_outdegree() == restored.max_outdegree()
+
+    def test_payload_is_json_plain(self, cls):
+        payload = cp.checkpoint(_ladder(cls))
+        assert json.loads(json.dumps(payload)) == payload
+
+
+def test_balanced_roundtrip():
+    st = BalancedOrientation(3)
+    st.insert_batch(EDGES[:8])
+    restored = cp.from_json(cp.to_json(st))
+    assert capture(st)["tail_of"] == capture(restored)["tail_of"]
+    assert restored.H == st.H
+
+
+class TestValidation:
+    def test_not_json(self):
+        with pytest.raises(BatchError, match="not valid JSON"):
+            cp.from_json("{truncated")
+
+    def test_not_a_mapping(self):
+        with pytest.raises(BatchError, match="must be a mapping"):
+            cp.restore_checkpoint([1, 2, 3])
+
+    def test_unknown_type(self):
+        with pytest.raises(BatchError, match="unknown checkpoint type"):
+            cp.restore_checkpoint({"type": "mystery"})
+
+    def test_missing_keys(self):
+        with pytest.raises(BatchError, match="missing key"):
+            cp.restore_checkpoint({"type": "coreness", "n": 5})
+
+    def test_bad_constants(self):
+        payload = cp.checkpoint(_ladder(CorenessDecomposition))
+        payload["constants"] = {"no_such_field": 1}
+        with pytest.raises(BatchError, match="constants are malformed"):
+            cp.restore_checkpoint(payload)
+
+    def test_rung_count_mismatch(self):
+        payload = cp.checkpoint(_ladder(CorenessDecomposition))
+        payload["rungs"] = payload["rungs"][:-1]
+        with pytest.raises(BatchError, match="rungs"):
+            cp.restore_checkpoint(payload)
+
+    def test_truncated_rung_state(self):
+        payload = cp.checkpoint(_ladder(CorenessDecomposition))
+        payload["rungs"][0] = {"inner": {"arcs": []}}  # levels missing
+        with pytest.raises(BatchError, match="arcs.*levels|missing"):
+            cp.restore_checkpoint(payload)
+
+    def test_repeated_arc_rejected(self):
+        payload = cp.checkpoint(_ladder(CorenessDecomposition))
+        state = payload["rungs"][0]["inner"]
+        if state["arcs"]:
+            state["arcs"].append(state["arcs"][0])
+            with pytest.raises(BatchError, match="repeats arc"):
+                cp.restore_checkpoint(payload)
+
+    def test_cannot_checkpoint_unknown(self):
+        with pytest.raises(BatchError, match="cannot checkpoint"):
+            cp.checkpoint(object())
+
+    def test_bucket_regime_roundtrip_and_bad_index(self):
+        from repro.config import Constants
+
+        cheap = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+        st = DensityEstimator(40, eps=0.5, seed=4, constants=cheap)
+        assert any(r.regime == "buckets" for r in st.rungs)
+        st.insert_batch(EDGES)
+        restored = cp.restore_checkpoint(cp.checkpoint(st))
+        assert cp.checkpoint(st) == cp.checkpoint(restored)
+        payload = cp.checkpoint(st)
+        for rung_state in payload["rungs"]:
+            if "buckets" in rung_state:
+                rung_state["buckets"]["999999"] = {"arcs": [], "levels": {}}
+                with pytest.raises(BatchError, match="outside"):
+                    cp.restore_checkpoint(payload)
+                return
+        raise AssertionError("no bucket-regime rung found")

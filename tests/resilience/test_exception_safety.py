@@ -1,0 +1,132 @@
+"""Property test: every batch is strongly exception safe under injection.
+
+Hypothesis drives arbitrary small update schedules, then picks an
+injection site and hit number.  If the fault fires mid-batch, the guarded
+batch must leave the structure *exactly* in its pre-batch logical state
+with invariants green; if it never fires, the batch must succeed normally.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.balanced import BalancedOrientation
+from repro.core.coreness import CorenessDecomposition
+from repro.errors import FaultInjected
+from repro.graphs.graph import norm_edge
+from repro.resilience.faults import SITES, FaultInjector, FaultSpec, injecting
+from repro.resilience.guard import capture, guarded
+
+SITE_LIST = sorted(SITES)
+
+
+@st.composite
+def schedules(draw):
+    """(warmup ops, victim batch) over a small vertex universe."""
+    n = draw(st.integers(4, 12))
+    live: set = set()
+    ops = []
+    for _ in range(draw(st.integers(0, 3))):
+        if draw(st.booleans()) or not live:
+            fresh: set = set()
+            for _ in range(12):
+                u, v = draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1))
+                if u != v:
+                    e = norm_edge(u, v)
+                    if e not in live and e not in fresh:
+                        fresh.add(e)
+                if len(fresh) >= 5:
+                    break
+            if fresh:
+                live |= fresh
+                ops.append(("insert", tuple(sorted(fresh))))
+        else:
+            pool = sorted(live)
+            k = draw(st.integers(1, len(pool)))
+            victims = tuple(pool[:k])
+            live -= set(victims)
+            ops.append(("delete", victims))
+    # the victim batch the fault targets
+    if live and draw(st.booleans()):
+        pool = sorted(live)
+        k = draw(st.integers(1, len(pool)))
+        victim = ("delete", tuple(pool[:k]))
+    else:
+        fresh = set()
+        for _ in range(12):
+            u, v = draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1))
+            if u != v:
+                e = norm_edge(u, v)
+                if e not in live and e not in fresh:
+                    fresh.add(e)
+            if len(fresh) >= 4:
+                break
+        if not fresh:
+            fresh = {
+                e
+                for i in range(n)
+                for j in range(i + 1, n)
+                if (e := norm_edge(i, j)) not in live
+            }
+            fresh = set(sorted(fresh)[:1])
+        assume(fresh)
+        victim = ("insert", tuple(sorted(fresh)))
+    return n, ops, victim
+
+
+def _apply(structure, op):
+    kind, edges = op
+    if kind == "insert":
+        structure.insert_batch(edges)
+    else:
+        structure.delete_batch(edges)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    sched=schedules(),
+    site=st.sampled_from(SITE_LIST),
+    hit=st.integers(1, 6),
+    use_ladder=st.booleans(),
+)
+def test_guarded_batches_are_atomic(sched, site, hit, use_ladder):
+    n, warmup, victim = sched
+    if use_ladder:
+        structure = CorenessDecomposition(n, eps=0.4, seed=1)
+    else:
+        structure = BalancedOrientation(3)
+    for op in warmup:
+        _apply(structure, op)
+    structure.check_invariants()
+    before = capture(structure)
+
+    injector = FaultInjector([FaultSpec(site, hit=hit, action="raise")])
+    fired = False
+    with injecting(injector):
+        try:
+            with guarded(structure):
+                _apply(structure, victim)
+        except FaultInjected:
+            fired = True
+
+    structure.check_invariants()
+    if fired:
+        # strong exception safety: state is exactly the pre-batch state
+        assert capture(structure) == before
+        # and the batch succeeds on retry (the fault was transient)
+        _apply(structure, victim)
+        structure.check_invariants()
+    else:
+        # fault never reached: the batch must have applied normally
+        clean = (
+            CorenessDecomposition(n, eps=0.4, seed=1)
+            if use_ladder
+            else BalancedOrientation(3)
+        )
+        for op in warmup:
+            _apply(clean, op)
+        _apply(clean, victim)
+        assert capture(structure) == capture(clean)

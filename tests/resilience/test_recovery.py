@@ -1,0 +1,163 @@
+"""Tiered recovery: rollback, checkpoint replay, rebuild, restart."""
+
+import pytest
+
+from repro.core.balanced import BalancedOrientation
+from repro.core.coreness import CorenessDecomposition
+from repro.errors import BatchError, RecoveryError, TraceError
+from repro.graphs.streams import BatchOp, churn
+from repro.resilience.faults import FaultInjector, FaultSpec, injecting
+from repro.resilience.recovery import RecoveryManager
+
+OPS = churn(20, 24, 5, seed=13)
+
+
+def _manager(structure="balanced", **kwargs):
+    if structure == "balanced":
+        st = BalancedOrientation(4)
+    else:
+        st = CorenessDecomposition(20, eps=0.35, seed=2)
+    kwargs.setdefault("checkpoint_every", 5)
+    return RecoveryManager(st, **kwargs)
+
+
+class TestCleanPath:
+    def test_all_ok_without_faults(self):
+        mgr = _manager()
+        assert [mgr.apply(op) for op in OPS] == ["ok"] * len(OPS)
+        assert mgr.audit().ok
+        assert mgr.stats.counts == {"ok": len(OPS)}
+        assert mgr.stats.recoveries == 0
+
+    def test_invalid_batch_raises_without_touching_state(self):
+        mgr = _manager()
+        mgr.apply(BatchOp("insert", ((0, 1), (1, 2))))
+        before = set(mgr.graph.edges)
+        with pytest.raises(BatchError):
+            mgr.apply(BatchOp("insert", ((0, 1),)))  # already live
+        with pytest.raises(BatchError):
+            mgr.apply(BatchOp("delete", ((5, 6),)))  # absent
+        assert mgr.graph.edges == before
+        assert mgr.audit().ok
+
+
+class TestTiers:
+    def test_raise_fault_resolved_by_rollback(self):
+        mgr = _manager()
+        inj = FaultInjector([FaultSpec("tokens.drop.phase", hit=2)])
+        with injecting(inj):
+            outcomes = [mgr.apply(op) for op in OPS]
+        assert outcomes.count("rollback") == 1
+        assert inj.fired
+        assert mgr.audit().ok
+
+    def test_corruption_resolved_by_checkpoint_replay(self):
+        mgr = _manager()
+        inj = FaultInjector(
+            [FaultSpec("tokens.drop.settle", hit=3, action="corrupt")], seed=5
+        )
+        with injecting(inj):
+            outcomes = [mgr.apply(op) for op in OPS]
+        assert inj.fired
+        assert set(outcomes) <= {"ok", "checkpoint", "rebuild"}
+        assert outcomes.count("ok") < len(OPS)
+        assert mgr.audit().ok
+        assert mgr.cm.counters.get("recovery_tier2_replays", 0) >= 1
+
+    def test_fault_burst_escalates_to_rebuild(self):
+        mgr = _manager()
+        specs = [
+            FaultSpec("tokens.drop.phase", hit=h) for h in range(3, 9)
+        ]
+        with injecting(FaultInjector(specs)):
+            outcomes = [mgr.apply(op) for op in OPS]
+        assert "rebuild" in outcomes
+        assert mgr.audit().ok
+        assert mgr.cm.counters.get("recovery_rebuild_attempts", 0) >= 1
+
+    def test_ladder_recovers_too(self):
+        mgr = _manager("coreness")
+        specs = [FaultSpec("tokens.drop.phase", hit=h) for h in range(4, 10)]
+        with injecting(FaultInjector(specs)):
+            outcomes = [mgr.apply(op) for op in OPS]
+        assert set(outcomes) > {"ok"}
+        assert mgr.audit().ok
+        mgr.structure.check_invariants()
+
+    def test_unbounded_burst_raises_recovery_error(self):
+        mgr = _manager(max_recovery_rounds=2, max_rebuild_attempts=1)
+        # every traversal of the site faults: recovery can never finish
+        specs = [FaultSpec("tokens.drop.phase", hit=h) for h in range(1, 400)]
+        with injecting(FaultInjector(specs)):
+            with pytest.raises(RecoveryError):
+                for op in OPS:
+                    mgr.apply(op)
+
+
+class TestRestart:
+    def test_save_load_roundtrip(self, tmp_path):
+        mgr = _manager()
+        for op in OPS:
+            mgr.apply(op)
+        mgr.save(tmp_path)
+        loaded = RecoveryManager.load(tmp_path)
+        assert loaded.graph.edges == mgr.graph.edges
+        assert loaded.audit().ok
+        assert len(loaded.history) == len(mgr.history)
+
+    def test_load_replays_suffix_through_recovery(self, tmp_path):
+        mgr = _manager()
+        for op in OPS[:10]:
+            mgr.apply(op)
+        mgr.save(tmp_path)
+        # tamper: pretend the checkpoint is older than the WAL tail
+        import json
+
+        image = json.loads((tmp_path / "checkpoint.json").read_text())
+        assert image["position"] == 10
+        loaded = RecoveryManager.load(tmp_path)
+        for op in OPS[10:]:
+            loaded.apply(op)
+        direct = _manager()
+        for op in OPS:
+            direct.apply(op)
+        assert loaded.graph.edges == direct.graph.edges
+        assert loaded.audit().ok
+
+    def test_torn_wal_is_rejected(self, tmp_path):
+        mgr = _manager()
+        for op in OPS[:6]:
+            mgr.apply(op)
+        mgr.save(tmp_path)
+        wal = tmp_path / "wal.trace"
+        text = wal.read_text().splitlines()
+        wal.write_text("\n".join(text[:-1]) + "\n")  # drop the footer
+        with pytest.raises(TraceError):
+            RecoveryManager.load(tmp_path)
+
+    def test_position_beyond_wal_is_rejected(self, tmp_path):
+        import json
+
+        mgr = _manager()
+        for op in OPS[:6]:
+            mgr.apply(op)
+        mgr.save(tmp_path)
+        image = json.loads((tmp_path / "checkpoint.json").read_text())
+        image["position"] = 999
+        (tmp_path / "checkpoint.json").write_text(json.dumps(image))
+        with pytest.raises(BatchError, match="position"):
+            RecoveryManager.load(tmp_path)
+
+    def test_wal_written_incrementally(self, tmp_path):
+        wal_path = tmp_path / "live.trace"
+        mgr = _manager(wal_path=wal_path)
+        for op in OPS[:4]:
+            mgr.apply(op)
+        # unsealed while live: strict readers refuse it
+        from repro.graphs.tracefile import read_trace
+
+        with pytest.raises(TraceError):
+            read_trace(wal_path, strict=True)
+        assert len(read_trace(wal_path)) == 4  # tolerant read sees the batches
+        mgr.close()
+        assert len(read_trace(wal_path, strict=True)) == 4
