@@ -15,7 +15,7 @@ from repro.core import BalancedOrientation
 from repro.graphs import DynamicGraph, generators as gen, streams
 from repro.instrument import CostModel, render_table
 
-from common import Experiment, drive
+from common import Experiment, drive, drive_traced, write_bench
 
 LENGTHS = [64, 256, 1024]
 
@@ -45,6 +45,13 @@ def run_experiment() -> Experiment:
     )
     grow_static = stats[LENGTHS[-1]][0] / stats[LENGTHS[0]][0]
     grow_ours = stats[LENGTHS[-1]][1] / stats[LENGTHS[0]][1]
+    n = LENGTHS[1]
+    _, edges = gen.path(n)
+    cm = CostModel()
+    series, tree = drive_traced(
+        BalancedOrientation(H=3, cm=cm), streams.insert_only(edges, 64), cm
+    )
+    write_bench("e19_depth_separation", series, tree, extra={"n": n, "H": 3})
     return Experiment(
         exp_id="E19",
         title="depth separation vs static parallel peeling",

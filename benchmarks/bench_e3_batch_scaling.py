@@ -12,7 +12,7 @@ from repro.core import BalancedOrientation
 from repro.graphs import generators as gen, streams
 from repro.instrument import CostModel, render_table
 
-from common import Experiment, drive
+from common import Experiment, drive, drive_traced, write_bench
 
 N, M, H = 80, 512, 5
 BATCH_SIZES = [1, 4, 16, 64, 256]
@@ -28,6 +28,14 @@ def measure(batch_size: int):
     return series.mean_work_per_edge(), mean_depth, total_depth
 
 
+def measure_traced(batch_size: int):
+    """One traced replay: (series, phase tree) for the BENCH artefact."""
+    _, edges = gen.erdos_renyi(N, M, seed=6)
+    cm = CostModel()
+    st = BalancedOrientation(H=H, cm=cm)
+    return drive_traced(st, streams.insert_only(edges, batch_size), cm)
+
+
 def run_experiment() -> Experiment:
     rows = []
     stats = {}
@@ -41,6 +49,11 @@ def run_experiment() -> Experiment:
     )
     flat = stats[BATCH_SIZES[-1]][0] / stats[BATCH_SIZES[0]][0]
     depth_gain = stats[BATCH_SIZES[0]][2] / stats[BATCH_SIZES[-1]][2]
+    series, tree = measure_traced(64)
+    write_bench(
+        "e3_batch_scaling", series, tree,
+        extra={"n": N, "m": M, "H": H, "batch_size": 64},
+    )
     return Experiment(
         exp_id="E3",
         title="batch-size scaling (Theorem 4.1)",

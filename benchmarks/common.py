@@ -10,15 +10,24 @@ tracking.
 
 from __future__ import annotations
 
+import os
+import pathlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Optional, Sequence
 
 from repro.config import Constants
 from repro.instrument import BatchTimer, CostModel, Series
+from repro.instrument import trace
+from repro.instrument.export import bench_payload, write_bench_json
+from repro.instrument.telemetry import SpanNode, Tracer
 
 # Laptop-scale constants used across all experiments (DESIGN.md §2 item 5).
 CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
 EPS = 0.35
+
+#: where write_bench() drops BENCH_<name>.json (repo root by default;
+#: override with REPRO_BENCH_DIR, e.g. in CI).
+HERE = pathlib.Path(__file__).resolve().parent
 
 
 @dataclass
@@ -50,6 +59,41 @@ def drive(structure, ops, cm: CostModel) -> Series:
             else:
                 structure.delete_batch(op.edges)
     return timer.series
+
+
+def drive_traced(structure, ops, cm: CostModel) -> tuple[Series, SpanNode]:
+    """Like :func:`drive`, but with a phase-scoped tracer armed.
+
+    Returns ``(series, root)`` where ``root`` is the aggregated phase
+    tree (its work equals the cost model's total — telemetry only reads
+    the model, it never charges it).
+    """
+    timer = BatchTimer(cm)
+    tracer = Tracer(cm)
+    with trace.tracing(tracer):
+        for i, op in enumerate(ops):
+            with trace.span("batch", detail={"index": i, "kind": op.kind}):
+                with timer.batch(op.kind, op.size):
+                    if op.kind == "insert":
+                        structure.insert_batch(op.edges)
+                    else:
+                        structure.delete_batch(op.edges)
+    return timer.series, tracer.root
+
+
+def bench_dir() -> pathlib.Path:
+    """Output directory for BENCH files (REPRO_BENCH_DIR or repo root)."""
+    return pathlib.Path(os.environ.get("REPRO_BENCH_DIR", HERE.parent))
+
+
+def write_bench(
+    name: str,
+    series: Series,
+    tree: Optional[SpanNode] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Write the machine-readable ``BENCH_<name>.json`` perf summary."""
+    return write_bench_json(bench_dir(), bench_payload(name, series, tree=tree, extra=extra))
 
 
 def spike_ratio(series: Series) -> float:

@@ -9,6 +9,7 @@ from __future__ import annotations
 from .cost import CostAccountingChecker
 from .determinism import DeterminismChecker
 from .hygiene import ApiHygieneChecker
+from .observability import ObservabilityChecker
 from .races import RaceChecker
 
 #: the default checker suite, in report order.
@@ -16,6 +17,7 @@ ALL_CHECKERS = [
     CostAccountingChecker,
     DeterminismChecker,
     RaceChecker,
+    ObservabilityChecker,
     ApiHygieneChecker,
 ]
 
@@ -24,5 +26,6 @@ __all__ = [
     "ApiHygieneChecker",
     "CostAccountingChecker",
     "DeterminismChecker",
+    "ObservabilityChecker",
     "RaceChecker",
 ]

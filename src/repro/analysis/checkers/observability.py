@@ -1,0 +1,78 @@
+"""Observability checker (rules REP-O001..REP-O002).
+
+The phase-tree attribution of :mod:`repro.instrument.telemetry` only
+aggregates if every instrumentation site spells its span name exactly as
+registered in :data:`repro.instrument.trace.SPAN_TAXONOMY` — an armed
+strict tracer rejects unknown names at runtime, but the hot paths are
+disarmed by default, so a typo would ship silently and only explode (or
+fragment the tree) the first time someone profiles.  This checker closes
+that gap statically in the cost-scoped packages:
+
+* **REP-O001** — a ``span(...)`` call whose literal name is not in the
+  registered taxonomy: register it (``register_span``) or fix the typo.
+* **REP-O002** — a ``span(...)`` call whose name is not a string literal:
+  dynamic names defeat both this check and the aggregation-by-name
+  design; thread the variability through ``attrs``/``detail`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ...instrument.trace import SPAN_TAXONOMY
+from ..walker import Checker, attribute_chain
+
+#: receiver spellings that make an ``x.span(...)`` call a tracing span.
+_SPAN_RECEIVERS = frozenset({"trace", "_trace", "tracer"})
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "span"
+    if isinstance(func, ast.Attribute) and func.attr == "span":
+        chain = attribute_chain(func.value)
+        return bool(chain) and chain[-1] in _SPAN_RECEIVERS
+    return False
+
+
+class ObservabilityChecker(Checker):
+    """Span names in instrumented code must come from the taxonomy."""
+
+    rules = {
+        "REP-O001": "span name is not in the registered taxonomy",
+        "REP-O002": "span name is not a string literal",
+    }
+
+    def run(self):
+        if not getattr(self.ctx, "in_cost_scope", True):
+            return self.findings
+        self.visit(self.ctx.tree)
+        return self.findings
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_span_call(node) and node.args:
+            name_arg = node.args[0]
+            if not (
+                isinstance(name_arg, ast.Constant)
+                and isinstance(name_arg.value, str)
+            ):
+                self.emit(
+                    node,
+                    "REP-O002",
+                    "span name must be a string literal so the taxonomy can "
+                    "be checked statically — put per-call variability in "
+                    "attrs/detail, not the name",
+                )
+            elif name_arg.value not in SPAN_TAXONOMY:
+                self.emit(
+                    node,
+                    "REP-O001",
+                    f"span name {name_arg.value!r} is not in SPAN_TAXONOMY "
+                    "(docs/OBSERVABILITY.md) — register_span() it or fix "
+                    "the typo",
+                )
+        self.generic_visit(node)
+
+
+__all__ = ["ObservabilityChecker"]

@@ -5,15 +5,19 @@ Core subcommands::
     repro generate --family planted --n 60 --m 200 --pattern churn \\
                    --batch-size 16 --out trace.txt
     repro run      --trace trace.txt --mode both --eps 0.35
+    repro profile  --trace trace.txt --bench-out . --name smoke --check
     repro exact    --trace trace.txt
     repro chaos    --structure all --trials 10 --faults 2 --seed 0
 
 ``generate`` writes a batch-update trace (see repro.graphs.tracefile);
 ``run`` replays it through the batch-dynamic structures and reports the
-maintained estimates plus work/depth metrics; ``exact`` replays it into a
-plain graph and reports the exact measures for comparison; ``chaos``
-soaks the structures under seeded fault injection (docs/ROBUSTNESS.md)
-and reports which recovery tiers fired.
+maintained estimates plus work/depth metrics (``--telemetry`` streams a
+JSONL span/event log, ``--progress K`` logs every K-th batch); ``profile``
+replays with phase-scoped telemetry armed and prints the phase tree
+(docs/OBSERVABILITY.md), optionally writing ``BENCH_<name>.json``;
+``exact`` replays it into a plain graph and reports the exact measures
+for comparison; ``chaos`` soaks the structures under seeded fault
+injection (docs/ROBUSTNESS.md) and reports which recovery tiers fired.
 """
 
 from __future__ import annotations
@@ -28,6 +32,15 @@ from .core import CorenessDecomposition, DensityEstimator
 from .graphs import DynamicGraph, generators, streams
 from .graphs.tracefile import read_trace, validate_trace, write_trace
 from .instrument import BatchTimer, CostModel, render_table
+from .instrument import trace as _trace
+from .instrument.export import (
+    JsonlSink,
+    bench_payload,
+    prometheus_text,
+    render_phase_tree,
+    write_bench_json,
+)
+from .instrument.telemetry import REGISTRY, Tracer
 
 CONSTANTS = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
 
@@ -68,13 +81,8 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    """Replay a trace through the maintained structures; print metrics."""
-    ops = read_trace(args.trace)
-    n = max(validate_trace(ops), 2)
-    cm = CostModel()
-    timer = BatchTimer(cm)
-    structures = []
+def _build_structures(args, n: int, cm: CostModel) -> list[tuple[str, object]]:
+    structures: list[tuple[str, object]] = []
     if args.mode in ("coreness", "both"):
         structures.append(
             ("coreness", CorenessDecomposition(n, eps=args.eps, cm=cm, constants=CONSTANTS))
@@ -85,14 +93,75 @@ def cmd_run(args) -> int:
         )
     if not structures:
         raise SystemExit(f"unknown mode {args.mode!r}")
+    return structures
 
-    for op in ops:
-        with timer.batch(op.kind, op.size):
-            for _name, st in structures:
-                if op.kind == "insert":
-                    st.insert_batch(op.edges)
-                else:
-                    st.delete_batch(op.edges)
+
+def _replay(ops, structures, timer: BatchTimer, progress: int = 0) -> None:
+    """Drive every batch through every structure (phase-span instrumented)."""
+    for i, op in enumerate(ops):
+        with _trace.span("batch", detail={"index": i, "kind": op.kind, "edges": op.size}):
+            with timer.batch(op.kind, op.size):
+                for name, st in structures:
+                    with _trace.span("structure", structure=name):
+                        if op.kind == "insert":
+                            st.insert_batch(op.edges)
+                        else:
+                            st.delete_batch(op.edges)
+        if progress and (i + 1) % progress == 0:
+            _trace.event(
+                "progress",
+                batch=i + 1,
+                batches=len(ops),
+                work=timer.cm.work,
+                depth=timer.cm.depth,
+            )
+
+
+def _progress_sink(stream=None):
+    """A tracer sink printing ``progress`` events to ``stream`` (stderr)."""
+    stream = stream if stream is not None else sys.stderr
+
+    def sink(ev: dict) -> None:
+        if ev.get("type") == "event" and ev.get("name") == "progress":
+            print(
+                f"[progress] batch {ev['batch']}/{ev['batches']}"
+                f"  work={ev['work']}  depth={ev['depth']}",
+                file=stream,
+            )
+
+    return sink
+
+
+def cmd_run(args) -> int:
+    """Replay a trace through the maintained structures; print metrics."""
+    ops = read_trace(args.trace)
+    n = max(validate_trace(ops), 2)
+    cm = CostModel()
+    REGISTRY.clear()
+    timer = BatchTimer(cm, registry=REGISTRY)
+    structures = _build_structures(args, n, cm)
+
+    progress = getattr(args, "progress", 0)
+    telemetry = getattr(args, "telemetry", None)
+    jsonl = None
+    if telemetry or progress:
+        sinks: list = []
+        if telemetry:
+            jsonl = JsonlSink(telemetry)
+            sinks.append(jsonl)
+        if progress:
+            sinks.append(_progress_sink())
+        tracer = Tracer(cm, sinks=sinks)
+        try:
+            with _trace.tracing(tracer):
+                _replay(ops, structures, timer, progress=progress)
+        finally:
+            if jsonl is not None:
+                jsonl.close()
+        if telemetry:
+            print(f"wrote {jsonl.events_written} telemetry events to {telemetry}")
+    else:
+        _replay(ops, structures, timer)
 
     series = timer.series
     rows = [
@@ -115,6 +184,81 @@ def cmd_run(args) -> int:
             rows.append(("lambda_alg", f"{st.arboricity_estimate():.2f}"))
             rows.append(("orientation max d+", st.max_outdegree()))
     print(render_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Replay a trace with telemetry armed; print the phase tree.
+
+    ``--bench-out DIR`` writes the machine-readable ``BENCH_<name>.json``
+    perf summary; ``--prom PATH`` dumps the metrics registry in Prometheus
+    text exposition; ``--check`` replays a second time *disarmed* and
+    fails if work, depth, or any counter differs — the tracing-never-
+    perturbs-the-cost-model guarantee, enforced end to end.
+    """
+    ops = read_trace(args.trace)
+    n = max(validate_trace(ops), 2)
+
+    def measure(armed: bool):
+        cm = CostModel()
+        REGISTRY.clear()
+        timer = BatchTimer(cm, registry=REGISTRY)
+        structures = _build_structures(args, n, cm)
+        if not armed:
+            _replay(ops, structures, timer)
+            return cm, timer, None
+        jsonl = JsonlSink(args.telemetry) if args.telemetry else None
+        tracer = Tracer(cm, sinks=[jsonl] if jsonl else [])
+        try:
+            with _trace.tracing(tracer):
+                _replay(ops, structures, timer)
+        finally:
+            if jsonl is not None:
+                jsonl.close()
+        return cm, timer, tracer
+
+    cm, timer, tracer = measure(armed=True)
+    root = tracer.root
+    if root.work != cm.work or root.total_self_work() != root.work:
+        print(
+            f"phase-tree accounting broken: root={root.work} "
+            f"self-sum={root.total_self_work()} cost-model={cm.work}",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_phase_tree(root, min_share=args.min_share))
+    print(
+        f"\nphase-tree work {root.work} == cost-model work {cm.work} (exact); "
+        f"depth {cm.depth}"
+    )
+
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(REGISTRY))
+        print(f"wrote metrics exposition to {args.prom}")
+    if args.bench_out:
+        payload = bench_payload(
+            args.name,
+            timer.series,
+            tree=root,
+            extra={"trace": args.trace, "mode": args.mode, "eps": args.eps},
+        )
+        path = write_bench_json(args.bench_out, payload)
+        print(f"wrote {path}")
+
+    if args.check:
+        cm2, _timer2, _ = measure(armed=False)
+        armed_view = (cm.work, cm.depth, dict(cm.counters))
+        bare_view = (cm2.work, cm2.depth, dict(cm2.counters))
+        if armed_view != bare_view:
+            print(
+                "check FAILED: telemetry perturbed the cost model\n"
+                f"  armed:    work={cm.work} depth={cm.depth}\n"
+                f"  disarmed: work={cm2.work} depth={cm2.depth}",
+                file=sys.stderr,
+            )
+            return 1
+        print("check: armed and disarmed replays are bit-identical")
     return 0
 
 
@@ -213,7 +357,31 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--mode", default="both", choices=["coreness", "density", "both"])
     r.add_argument("--eps", type=float, default=0.35)
     r.add_argument("--top", type=int, default=5)
+    r.add_argument("--telemetry", metavar="PATH",
+                   help="write a JSONL span/event log to PATH")
+    r.add_argument("--progress", type=int, default=0, metavar="K",
+                   help="log every K-th batch via the telemetry event sink")
     r.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "profile", help="replay a trace with phase-scoped telemetry armed"
+    )
+    p.add_argument("--trace", required=True)
+    p.add_argument("--mode", default="both", choices=["coreness", "density", "both"])
+    p.add_argument("--eps", type=float, default=0.35)
+    p.add_argument("--min-share", type=float, default=0.01,
+                   help="prune phase-tree rows below this work share")
+    p.add_argument("--name", default="profile",
+                   help="BENCH payload name (file becomes BENCH_<name>.json)")
+    p.add_argument("--bench-out", metavar="DIR",
+                   help="write BENCH_<name>.json under DIR")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="write a JSONL span/event log to PATH")
+    p.add_argument("--prom", metavar="PATH",
+                   help="dump the metrics registry as Prometheus text")
+    p.add_argument("--check", action="store_true",
+                   help="replay disarmed too; fail on any work/depth/counter drift")
+    p.set_defaults(func=cmd_profile)
 
     e = sub.add_parser("exact", help="exact offline measures of a trace's final graph")
     e.add_argument("--trace", required=True)

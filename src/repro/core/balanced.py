@@ -37,6 +37,7 @@ from typing import Iterable, Iterator, Optional
 from ..config import DEFAULT_CONSTANTS, Constants, check_height
 from ..errors import BatchError, InvariantViolation
 from ..graphs.graph import Edge, norm_edge
+from ..instrument import trace as _trace
 from ..instrument.work_depth import CostModel
 from ..resilience.guard import Transactional
 from .inindex import InIndex
@@ -356,6 +357,10 @@ class BalancedOrientation(Transactional):
     # -- drivers (Sections 4.2.2 / 4.3.2); game logic lives in tokens.py --------
 
     def _insert_arcs(self, batch: list[tuple[int, int, int]]) -> None:
+        with _trace.span("balanced.insert", detail={"edges": len(batch)}):
+            self._insert_arcs_inner(batch)
+
+    def _insert_arcs_inner(self, batch: list[tuple[int, int, int]]) -> None:
         from .bundles import extract_token_bundle
         from .tokens import run_drop_game
 
@@ -374,17 +379,18 @@ class BalancedOrientation(Transactional):
             ]
             if free:
                 free_keys = set(free)
-                with self.cm.parallel() as region:
-                    for u, v, c in free:
-                        with region.branch():
-                            tail, head = (
-                                (u, v)
-                                if self.outdegree(u) <= self.outdegree(v)
-                                else (v, u)
-                            )
-                            self._arc_add(tail, head, c)
-                            self._set_level(tail, self.level.get(tail, 0) + 1)
-                            self.last_inserted.append((tail, head, c))
+                with _trace.span("balanced.free"):
+                    with self.cm.parallel() as region:
+                        for u, v, c in free:
+                            with region.branch():
+                                tail, head = (
+                                    (u, v)
+                                    if self.outdegree(u) <= self.outdegree(v)
+                                    else (v, u)
+                                )
+                                self._arc_add(tail, head, c)
+                                self._set_level(tail, self.level.get(tail, 0) + 1)
+                                self.last_inserted.append((tail, head, c))
                 pending = [e for e in pending if e not in free_keys]
             if not pending:
                 break
@@ -399,6 +405,10 @@ class BalancedOrientation(Transactional):
         self.cm.count("insert_batches")
 
     def _delete_arcs(self, batch: list[tuple[int, int, int]]) -> None:
+        with _trace.span("balanced.delete", detail={"edges": len(batch)}):
+            self._delete_arcs_inner(batch)
+
+    def _delete_arcs_inner(self, batch: list[tuple[int, int, int]]) -> None:
         from .bundles import partition_deletion_tokens
         from .tokens import run_push_game
 
@@ -413,19 +423,20 @@ class BalancedOrientation(Transactional):
         # free deletions at saturated tails (§4.3.2): the first
         # d+(tail) - H doomed arcs of each tail leave without tokens.
         tokens: dict[int, int] = {}
-        with self.cm.parallel() as region:
-            for tail, heads in sorted(directed.items()):
-                with region.branch():
-                    lvl = self.level.get(tail, 0)
-                    free_count = min(len(heads), max(0, lvl - self.H))
-                    for head, copy in heads[:free_count]:
-                        self._arc_remove(tail, head, copy)
-                        self._set_level(tail, self.level[tail] - 1)
-                        self.last_deleted.append((tail, head, copy))
-                    for head, copy in heads[free_count:]:
-                        self._arc_remove(tail, head, copy)
-                        self.last_deleted.append((tail, head, copy))
-                        tokens[tail] = tokens.get(tail, 0) + 1
+        with _trace.span("balanced.free"):
+            with self.cm.parallel() as region:
+                for tail, heads in sorted(directed.items()):
+                    with region.branch():
+                        lvl = self.level.get(tail, 0)
+                        free_count = min(len(heads), max(0, lvl - self.H))
+                        for head, copy in heads[:free_count]:
+                            self._arc_remove(tail, head, copy)
+                            self._set_level(tail, self.level[tail] - 1)
+                            self.last_deleted.append((tail, head, copy))
+                        for head, copy in heads[free_count:]:
+                            self._arc_remove(tail, head, copy)
+                            self.last_deleted.append((tail, head, copy))
+                            tokens[tail] = tokens.get(tail, 0) + 1
 
         for bundle in partition_deletion_tokens(tokens):
             run_push_game(self, bundle)

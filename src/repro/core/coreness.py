@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, ladder_heights
+from ..instrument import trace as _trace
 from ..instrument.work_depth import CostModel
 from ..resilience.guard import Transactional
 from .coreness_fixed import FixedHCorenessEstimator
@@ -58,17 +59,19 @@ class CorenessDecomposition(Transactional):
             self._touched.add(u)
             self._touched.add(v)
         with self.cm.parallel() as region:
-            for rung in self.rungs:
+            for rung, H in zip(self.rungs, self.heights):
                 with region.branch():
-                    rung.insert_batch(edges)
+                    with _trace.span("ladder.rung", H=H):
+                        rung.insert_batch(edges)
 
     def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = list(edges)
         self.cm.charge(work=len(edges) + 1, depth=1)
         with self.cm.parallel() as region:
-            for rung in self.rungs:
+            for rung, H in zip(self.rungs, self.heights):
                 with region.branch():
-                    rung.delete_batch(edges)
+                    with _trace.span("ladder.rung", H=H):
+                        rung.delete_batch(edges)
 
     def update_batch(self, insertions=(), deletions=()) -> None:
         """One mixed batch: deletions first, then insertions."""

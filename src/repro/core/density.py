@@ -16,6 +16,7 @@ from typing import Iterable, Optional
 
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, ladder_heights
 from ..errors import InvariantViolation
+from ..instrument import trace as _trace
 from ..instrument.work_depth import CostModel
 from ..resilience.guard import Transactional
 from .density_fixed import FixedHDensityGuard
@@ -52,16 +53,18 @@ class DensityEstimator(Transactional):
     def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = list(edges)
         with self.cm.parallel() as region:
-            for rung in self.rungs:
+            for rung, H in zip(self.rungs, self.heights):
                 with region.branch():
-                    rung.insert_batch(edges)
+                    with _trace.span("ladder.rung", H=H):
+                        rung.insert_batch(edges)
 
     def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = list(edges)
         with self.cm.parallel() as region:
-            for rung in self.rungs:
+            for rung, H in zip(self.rungs, self.heights):
                 with region.branch():
-                    rung.delete_batch(edges)
+                    with _trace.span("ladder.rung", H=H):
+                        rung.delete_batch(edges)
 
     def update_batch(self, insertions=(), deletions=()) -> None:
         """One mixed batch: deletions first, then insertions."""

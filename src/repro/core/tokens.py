@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..errors import ConvergenceError
+from ..instrument import trace as _trace
 from ..pram.primitives import arbitrary_winners
 from ..pram.sorting import parallel_sort
 from ..resilience import faults as _faults
@@ -43,6 +44,11 @@ def run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -
     """Insert one token bundle (Definition 4.6) and settle it."""
     if not bundle:
         return
+    with _trace.span("game.drop", detail={"tokens": len(bundle)}):
+        _run_drop_game(st, bundle)
+
+
+def _run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -> None:
     H = st.H
     # 1. add bundle arcs; levels stay frozen (Lemma 4.14 step one)
     with st.cm.parallel() as region:
@@ -62,51 +68,58 @@ def run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) -
             raise ConvergenceError(
                 f"token-dropping exceeded {bound} phases (Lemma 4.8 bound)"
             )
-        if _faults.ACTIVE is not None:
-            _faults.ACTIVE.fire("tokens.drop.phase", st)
-        frontier = sorted(v for v in token if st.level.get(v, 0) < H)
-        proposals: list[tuple[int, tuple[int, int]]] = []
-        with st.cm.parallel() as region:
-            for v in frontier:
-                with region.branch():
-                    lv = st.level.get(v, 0)
-                    outset = st.out.get(v)
-                    if outset is None:
-                        continue
-                    for head, copy in outset:  # <= H arcs while v is occupied
-                        st.cm.tick()
-                        if head not in token and st.level.get(head, 0) == lv - 1:
-                            proposals.append((head, (v, copy)))
-                            break
-        if not proposals:
-            break
-        proposals = parallel_sort(proposals, cm=st.cm)
-        winners = arbitrary_winners(proposals, cm=st.cm)
-        with st.cm.parallel() as region:
-            for w in sorted(winners):
-                v, copy = winners[w]
-                with region.branch():
-                    st._flip(v, w, copy)  # the token drops from v to w
-                    token.discard(v)
-                    token.add(w)
+        with _trace.span("game.drop.phase"):
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("tokens.drop.phase", st)
+            frontier = sorted(v for v in token if st.level.get(v, 0) < H)
+            proposals: list[tuple[int, tuple[int, int]]] = []
+            with st.cm.parallel() as region:
+                for v in frontier:
+                    with region.branch():
+                        lv = st.level.get(v, 0)
+                        outset = st.out.get(v)
+                        if outset is None:
+                            continue
+                        for head, copy in outset:  # <= H arcs while v is occupied
+                            st.cm.tick()
+                            if head not in token and st.level.get(head, 0) == lv - 1:
+                                proposals.append((head, (v, copy)))
+                                break
+            if not proposals:
+                break
+            proposals = parallel_sort(proposals, cm=st.cm)
+            winners = arbitrary_winners(proposals, cm=st.cm)
+            with st.cm.parallel() as region:
+                for w in sorted(winners):
+                    v, copy = winners[w]
+                    with region.branch():
+                        st._flip(v, w, copy)  # the token drops from v to w
+                        token.discard(v)
+                        token.add(w)
         st.cm.count("drop_phases")
 
     # settlement (Lemma 4.14 closing step): resting tokens become +1 level
-    if _faults.ACTIVE is not None:
-        _faults.ACTIVE.fire("tokens.drop.settle", st)
-    with st.cm.parallel() as region:
-        for v in sorted(token):
-            with region.branch():
-                st._set_level(v, st.level.get(v, 0) + 1)
+    with _trace.span("game.drop.settle"):
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("tokens.drop.settle", st)
+        with st.cm.parallel() as region:
+            for v in sorted(token):
+                with region.branch():
+                    st._set_level(v, st.level.get(v, 0) + 1)
     st.cm.count("drop_games")
 
 
 def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
     """Settle one deletion token bundle (Definition 4.17)."""
-    H = st.H
     token: set[int] = set(bundle)
     if not token:
         return
+    with _trace.span("game.push", detail={"tokens": len(token)}):
+        _run_push_game(st, token)
+
+
+def _run_push_game(st: BalancedOrientation, token: set[int]) -> None:
+    H = st.H
     pending_dec: dict[int, int] = {v: 1 for v in token}
     labeled: set[int] = set()
 
@@ -118,79 +131,82 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
             raise ConvergenceError(
                 f"token-pushing exceeded {bound} phases (Lemma 4.18 bound)"
             )
-        if _faults.ACTIVE is not None:
-            _faults.ACTIVE.fire("tokens.push.phase", st)
-        S = {v for v in token if st.level.get(v, 0) < H}
-        # phase-start labels: 2*[in S] + [occupied] on every occupied vertex
-        stale = sorted(labeled - token)
-        with st.cm.parallel() as region:
-            for u in stale:
-                with region.branch():
-                    st._apply_vertex_label(u, 0)
-            for u in sorted(token):
-                with region.branch():
-                    st._apply_vertex_label(u, 2 * (u in S) + 1)
-        labeled = set(token)
-        moved = False
-
-        for i in range(1, H + 1):  # rank rounds
-            sends: list[tuple[int, tuple[int, int]]] = []
+        with _trace.span("game.push.phase"):
+            if _faults.ACTIVE is not None:
+                _faults.ACTIVE.fire("tokens.push.phase", st)
+            S = {v for v in token if st.level.get(v, 0) < H}
+            # phase-start labels: 2*[in S] + [occupied] on every occupied vertex
+            stale = sorted(labeled - token)
             with st.cm.parallel() as region:
-                for v in sorted(S):
-                    if v not in token:
-                        continue  # already sent its token this phase
+                for u in stale:
                     with region.branch():
-                        st._charge_lookup()
-                        index = st.inx.get(v)
-                        if index is None:
-                            continue
-                        lv = st.level.get(v, 0)
-                        wkey = index.any_at(i, 0, lv + 1)
-                        if wkey is not None:
-                            sends.append((v, wkey))
-            # canonical order: each v sends at most once, so sorting makes
-            # the flip sequence a pure function of the phase's input.
-            for v, (w, copy) in sorted(sends):
-                st._flip(w, v, copy)  # arc (w -> v) becomes (v -> w)
-                token.discard(v)
-                pending_dec[v] = pending_dec.get(v, 0) - 1
-                pending_dec[w] = pending_dec.get(w, 0) + 1
-                st._apply_vertex_label(v, 2)  # still in frozen S, token gone
-                # Transparency is decided by the *receiver's* residual
-                # out-degree, not by which arc carried the token: while w
-                # still has >= H live out-arcs, its settlement decrement
-                # keeps min(H, d+(w)) = H — invisible to the truncated
-                # invariant, so the token is absorbed and w stays open
-                # (this is the same budget the paper's tr = H+1 rule
-                # enforces; see DESIGN.md "deviation D1").  The strict flag
-                # reverts to the paper's literal rule for ablation E15.
-                if st.constants.strict_paper_transparency or len(st.out.get(w, ())) < H:
-                    token.add(w)
-                    st._apply_vertex_label(w, 1)  # w not in S, now occupied
-                    labeled.add(w)
-                moved = True
+                        st._apply_vertex_label(u, 0)
+                for u in sorted(token):
+                    with region.branch():
+                        st._apply_vertex_label(u, 2 * (u in S) + 1)
+            labeled = set(token)
+            moved = False
 
-        # truncated-rank H+1 round: transparent tokens
-        sends = []
-        with st.cm.parallel() as region:
-            for v in sorted(S):
-                if v not in token or st.level.get(v, 0) != H - 1:
-                    continue
-                with region.branch():
-                    st._charge_lookup()
-                    tindex = st.inx.get(v)
-                    if tindex is None:
-                        continue
-                    twkey = tindex.any_truncated(H + 1, H)
-                    if twkey is not None:
-                        sends.append((v, twkey))
-        for v, (w, copy) in sorted(sends):
-            st._flip(w, v, copy)
-            token.discard(v)
-            pending_dec[v] = pending_dec.get(v, 0) - 1
-            pending_dec[w] = pending_dec.get(w, 0) + 1  # absorbed, not occupied
-            st._apply_vertex_label(v, 2)
-            moved = True
+            with _trace.span("game.push.ranks"):
+                for i in range(1, H + 1):  # rank rounds
+                    sends: list[tuple[int, tuple[int, int]]] = []
+                    with st.cm.parallel() as region:
+                        for v in sorted(S):
+                            if v not in token:
+                                continue  # already sent its token this phase
+                            with region.branch():
+                                st._charge_lookup()
+                                index = st.inx.get(v)
+                                if index is None:
+                                    continue
+                                lv = st.level.get(v, 0)
+                                wkey = index.any_at(i, 0, lv + 1)
+                                if wkey is not None:
+                                    sends.append((v, wkey))
+                    # canonical order: each v sends at most once, so sorting makes
+                    # the flip sequence a pure function of the phase's input.
+                    for v, (w, copy) in sorted(sends):
+                        st._flip(w, v, copy)  # arc (w -> v) becomes (v -> w)
+                        token.discard(v)
+                        pending_dec[v] = pending_dec.get(v, 0) - 1
+                        pending_dec[w] = pending_dec.get(w, 0) + 1
+                        st._apply_vertex_label(v, 2)  # still in frozen S, token gone
+                        # Transparency is decided by the *receiver's* residual
+                        # out-degree, not by which arc carried the token: while w
+                        # still has >= H live out-arcs, its settlement decrement
+                        # keeps min(H, d+(w)) = H — invisible to the truncated
+                        # invariant, so the token is absorbed and w stays open
+                        # (this is the same budget the paper's tr = H+1 rule
+                        # enforces; see DESIGN.md "deviation D1").  The strict flag
+                        # reverts to the paper's literal rule for ablation E15.
+                        if st.constants.strict_paper_transparency or len(st.out.get(w, ())) < H:
+                            token.add(w)
+                            st._apply_vertex_label(w, 1)  # w not in S, now occupied
+                            labeled.add(w)
+                        moved = True
+
+            # truncated-rank H+1 round: transparent tokens
+            with _trace.span("game.push.truncated"):
+                sends = []
+                with st.cm.parallel() as region:
+                    for v in sorted(S):
+                        if v not in token or st.level.get(v, 0) != H - 1:
+                            continue
+                        with region.branch():
+                            st._charge_lookup()
+                            tindex = st.inx.get(v)
+                            if tindex is None:
+                                continue
+                            twkey = tindex.any_truncated(H + 1, H)
+                            if twkey is not None:
+                                sends.append((v, twkey))
+                for v, (w, copy) in sorted(sends):
+                    st._flip(w, v, copy)
+                    token.discard(v)
+                    pending_dec[v] = pending_dec.get(v, 0) - 1
+                    pending_dec[w] = pending_dec.get(w, 0) + 1  # absorbed, not occupied
+                    st._apply_vertex_label(v, 2)
+                    moved = True
 
         st.cm.count("push_phases")
         if not moved:
@@ -203,15 +219,16 @@ def run_push_game(st: BalancedOrientation, bundle: Iterable[int]) -> None:
                 st._apply_vertex_label(u, 0)
 
     # settlement: every absorbed token is one out-degree decrement
-    if _faults.ACTIVE is not None:
-        _faults.ACTIVE.fire("tokens.push.settle", st)
-    with st.cm.parallel() as region:
-        for v in sorted(pending_dec):
-            dec = pending_dec[v]
-            if dec == 0:
-                continue
-            if dec < 0:
-                raise AssertionError("negative pending decrement")
-            with region.branch():
-                st._set_level(v, st.level.get(v, 0) - dec)
+    with _trace.span("game.push.settle"):
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("tokens.push.settle", st)
+        with st.cm.parallel() as region:
+            for v in sorted(pending_dec):
+                dec = pending_dec[v]
+                if dec == 0:
+                    continue
+                if dec < 0:
+                    raise AssertionError("negative pending decrement")
+                with region.branch():
+                    st._set_level(v, st.level.get(v, 0) - dec)
     st.cm.count("push_games")

@@ -1,7 +1,44 @@
-"""Instrumentation: work/depth cost model, Brent projections, metrics."""
+"""Instrumentation: cost model, Brent projections, metrics, telemetry.
+
+* :mod:`.work_depth` — the simulated-PRAM work/depth :class:`CostModel`.
+* :mod:`.brent` — Brent-bound runtime projections.
+* :mod:`.metrics` — per-batch records, summaries, table rendering.
+* :mod:`.trace` / :mod:`.telemetry` / :mod:`.export` — the observability
+  layer (docs/OBSERVABILITY.md): phase-scoped spans attributing cost-model
+  deltas to a game → round → rung tree, a process-wide metrics registry,
+  and JSONL / Prometheus / fixed-width-report / BENCH-json sinks.
+"""
 
 from .brent import BrentPoint, parallelism, project, saturation_processors
-from .metrics import BatchRecord, BatchTimer, Series, render_series, render_table
+from .export import (
+    JsonlSink,
+    bench_payload,
+    parse_prometheus,
+    phase_shares,
+    prometheus_text,
+    read_jsonl,
+    render_phase_tree,
+    validate_bench_payload,
+    write_bench_json,
+)
+from .metrics import (
+    BatchRecord,
+    BatchTimer,
+    RecoveryStats,
+    Series,
+    render_series,
+    render_table,
+)
+from .telemetry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanNode,
+    Tracer,
+)
+from .trace import SPAN_TAXONOMY, register_span, span, tracing
 from .work_depth import CostModel, NullCostModel, ParallelRegion, Snapshot
 
 __all__ = [
@@ -9,13 +46,34 @@ __all__ = [
     "BatchTimer",
     "BrentPoint",
     "CostModel",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
     "NullCostModel",
     "ParallelRegion",
+    "REGISTRY",
+    "RecoveryStats",
+    "SPAN_TAXONOMY",
     "Series",
     "Snapshot",
+    "SpanNode",
+    "Tracer",
+    "bench_payload",
     "parallelism",
+    "parse_prometheus",
+    "phase_shares",
     "project",
+    "prometheus_text",
+    "read_jsonl",
+    "register_span",
+    "render_phase_tree",
     "render_series",
     "render_table",
     "saturation_processors",
+    "span",
+    "tracing",
+    "validate_bench_payload",
+    "write_bench_json",
 ]

@@ -12,9 +12,29 @@ import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
+from . import telemetry as _telemetry
 from .work_depth import CostModel
+
+
+def _percentile(vals: list[float], q: float) -> float:
+    """Inclusive linear-interpolation percentile over sorted ``vals``.
+
+    ``q`` outside [0, 100] is a caller bug (it would silently
+    extrapolate), so it raises ``ValueError``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not vals:
+        return 0.0
+    if len(vals) == 1:
+        return vals[0]
+    pos = (q / 100.0) * (len(vals) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(vals) - 1)
+    frac = pos - lo
+    return vals[lo] * (1 - frac) + vals[hi] * frac
 
 
 @dataclass
@@ -64,25 +84,31 @@ class Series:
         return sum(r.depth for r in self.records) / len(self.records) if self.records else 0.0
 
     def percentile_work_per_edge(self, q: float) -> float:
-        """Inclusive linear-interpolation percentile, q in [0, 100]."""
-        vals = sorted(r.work_per_edge for r in self.records)
-        if not vals:
-            return 0.0
-        if len(vals) == 1:
-            return vals[0]
-        pos = (q / 100.0) * (len(vals) - 1)
-        lo = int(math.floor(pos))
-        hi = min(lo + 1, len(vals) - 1)
-        frac = pos - lo
-        return vals[lo] * (1 - frac) + vals[hi] * frac
+        """Inclusive linear-interpolation percentile; q must be in [0, 100]."""
+        return _percentile(sorted(r.work_per_edge for r in self.records), q)
+
+    def percentile_depth(self, q: float) -> float:
+        """Per-batch depth percentile; q must be in [0, 100]."""
+        return _percentile(sorted(float(r.depth) for r in self.records), q)
 
 
 class BatchTimer:
-    """Measures (work, depth, wall) deltas of a cost model around batches."""
+    """Measures (work, depth, wall) deltas of a cost model around batches.
 
-    def __init__(self, cm: CostModel) -> None:
+    With a :class:`~repro.instrument.telemetry.MetricsRegistry` attached,
+    every batch also publishes into it: ``repro_batches_total{kind=}``,
+    ``repro_work_total`` / ``repro_depth_total``, per-batch histograms of
+    work-per-edge and depth, and one ``repro_<name>_total`` counter per
+    cost-model event counter — the structured replacement for reading the
+    ad-hoc ``BatchRecord.counters`` dicts.
+    """
+
+    def __init__(
+        self, cm: CostModel, registry: Optional["_telemetry.MetricsRegistry"] = None
+    ) -> None:
         self.cm = cm
         self.series = Series()
+        self.registry = registry
 
     @contextmanager
     def batch(self, kind: str, size: int) -> Iterator[None]:
@@ -97,16 +123,30 @@ class BatchTimer:
             for k, v in self.cm.counters.items()
             if v != counters_before.get(k, 0)
         }
-        self.series.add(
-            BatchRecord(
-                kind=kind,
-                batch_size=size,
-                work=after.work - before.work,
-                depth=after.depth - before.depth,
-                wall_seconds=wall,
-                counters=delta_counters,
-            )
+        record = BatchRecord(
+            kind=kind,
+            batch_size=size,
+            work=after.work - before.work,
+            depth=after.depth - before.depth,
+            wall_seconds=wall,
+            counters=delta_counters,
         )
+        self.series.add(record)
+        if self.registry is not None:
+            self._publish(record)
+
+    def _publish(self, record: BatchRecord) -> None:
+        reg = self.registry
+        reg.counter("repro_batches_total", kind=record.kind).inc()
+        reg.counter("repro_work_total").inc(record.work)
+        reg.counter("repro_depth_total").inc(record.depth)
+        reg.gauge("repro_last_batch_size").set(record.batch_size)
+        reg.histogram("repro_batch_work_per_edge").observe(record.work_per_edge)
+        reg.histogram("repro_batch_depth").observe(record.depth)
+        reg.histogram("repro_batch_wall_seconds").observe(record.wall_seconds)
+        for name, delta in record.counters.items():
+            if delta > 0:
+                reg.counter(f"repro_{name}_total").inc(delta)
 
 
 # -- recovery accounting ------------------------------------------------------
@@ -120,7 +160,13 @@ RECOVERY_TIERS: tuple[str, ...] = ("ok", "rollback", "checkpoint", "rebuild")
 
 @dataclass
 class RecoveryStats:
-    """Which recovery tier resolved each batch — the resilience scoreboard."""
+    """Which recovery tier resolved each batch — the resilience scoreboard.
+
+    Every :meth:`record` also mirrors into the process-wide telemetry
+    registry as ``repro_recovery_batches_total{outcome=...}`` (only
+    ``record``, not ``merge`` — merged scoreboards aggregate counts that
+    were already published when first recorded).
+    """
 
     counts: dict[str, int] = field(default_factory=dict)
 
@@ -128,6 +174,9 @@ class RecoveryStats:
         if outcome not in RECOVERY_TIERS:
             raise ValueError(f"unknown recovery outcome {outcome!r}")
         self.counts[outcome] = self.counts.get(outcome, 0) + 1
+        _telemetry.REGISTRY.counter(
+            "repro_recovery_batches_total", outcome=outcome
+        ).inc()
 
     def merge(self, other: "RecoveryStats") -> None:
         for outcome, count in other.counts.items():

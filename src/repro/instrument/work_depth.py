@@ -153,6 +153,20 @@ class CostModel:
     def depth(self) -> int:
         return self._stack[0].depth
 
+    def frame_probe(self) -> tuple[object, int, int]:
+        """Identity and running (work, depth) of the innermost open frame.
+
+        The telemetry layer's read-only hook: a span records the probe on
+        entry and subtracts it from a probe on exit.  Because parallel
+        regions and branches fold into their parent frame in ``finally``
+        blocks, a well-nested span sees the *same* frame object at both
+        ends — even when the traced block opened (and fully closed)
+        parallel regions, and even when it unwound through an exception —
+        so the delta is exactly the work/depth enclosed by the span.
+        """
+        top = self._stack[-1]
+        return top, top.work, top.depth
+
     def snapshot(self) -> Snapshot:
         """Current totals at the *root* frame.
 

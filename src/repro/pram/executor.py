@@ -19,6 +19,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from ..instrument import trace as _trace
+
 T = TypeVar("T")
 U = TypeVar("U")
 
@@ -27,7 +29,8 @@ class SerialExecutor:
     """Run the sweep in-process, sequentially."""
 
     def map(self, fn: Callable[[T], U], items: Sequence[T]) -> list[U]:
-        return [fn(item) for item in items]
+        with _trace.span("pram.map", detail={"items": len(items)}, backend="serial"):
+            return [fn(item) for item in items]
 
 
 class ProcessExecutor:
@@ -37,13 +40,18 @@ class ProcessExecutor:
     machine's CPU count; on this reproduction box that is 1, so the benefit
     only materialises on larger hosts — which is exactly why all reported
     speedups are Brent projections (DESIGN.md §2 item 1).
+
+    The ``pram.map`` span measures the sweep from the coordinator's side;
+    worker processes have their own (unarmed) telemetry globals, so only
+    wall-clock — not per-item cost-model deltas — is attributed here.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers or os.cpu_count() or 1
 
     def map(self, fn: Callable[[T], U], items: Sequence[T]) -> list[U]:
-        if self.max_workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, items))
+        with _trace.span("pram.map", detail={"items": len(items)}, backend="process"):
+            if self.max_workers <= 1 or len(items) <= 1:
+                return [fn(item) for item in items]
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, items))

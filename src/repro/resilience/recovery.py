@@ -44,6 +44,7 @@ from ..errors import BatchError, RecoveryError
 from ..graphs.graph import DynamicGraph, normalize_batch
 from ..graphs.streams import BatchOp
 from ..graphs.tracefile import TraceWriter, read_trace
+from ..instrument import trace as _trace
 from ..instrument.metrics import RecoveryStats
 from . import checkpoint as ckpt
 from .guard import capture, guarded, rollback
@@ -94,15 +95,28 @@ class RecoveryManager:
         touching the structure — that is caller error, not a fault.
         """
         self._validate(op)
-        outcome = "ok"
-        exc = self._try(op)
-        if exc is not None:
-            outcome = self._recover_and_retry(op, exc)
-        self._commit(op)
-        if self.audit_every and len(self.history) % self.audit_every == 0:
-            if not self.healthy():
-                outcome = self._repair_in_place()
+        with _trace.span("recovery.apply", detail={"kind": op.kind, "edges": op.size}):
+            outcome = "ok"
+            exc = self._try(op)
+            if exc is not None:
+                _trace.event(
+                    "recovery.escalate",
+                    tier="rollback",
+                    batch=len(self.history),
+                    error=type(exc).__name__,
+                )
+                outcome = self._recover_and_retry(op, exc)
+            self._commit(op)
+            if self.audit_every and len(self.history) % self.audit_every == 0:
+                if not self.healthy():
+                    _trace.event(
+                        "recovery.escalate",
+                        tier="post-commit-audit",
+                        batch=len(self.history),
+                    )
+                    outcome = self._repair_in_place()
         self.stats.record(outcome)
+        _trace.event("recovery.outcome", outcome=outcome, batch=len(self.history))
         if outcome != "ok":
             self.cm.count(f"recovery_{outcome}")
         if len(self.history) - self._ckpt_pos >= self.checkpoint_every:
@@ -193,10 +207,14 @@ class RecoveryManager:
                 return deepest
             # Tier 2: restore the last checkpoint and replay the suffix.
             deepest = "rebuild" if deepest == "rebuild" else "checkpoint"
+            _trace.event(
+                "recovery.escalate", tier="checkpoint", batch=len(self.history)
+            )
             if self._tier2_restore() and self._try(op) is None:
                 return deepest
             # Tier 3: rebuild from the ground truth.
             deepest = "rebuild"
+            _trace.event("recovery.escalate", tier="rebuild", batch=len(self.history))
             try:
                 self._tier3_rebuild()
             except RecoveryError as exc:

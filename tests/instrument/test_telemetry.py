@@ -1,0 +1,249 @@
+"""Tracer attribution, exception unwinding, and the metrics registry."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.instrument import trace
+from repro.instrument.metrics import BatchRecord, BatchTimer, Series
+from repro.instrument.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+)
+from repro.instrument.work_depth import CostModel
+
+
+def traced(cm):
+    return Tracer(cm)
+
+
+class TestAttribution:
+    def test_nested_spans_attribute_exact_deltas(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            with trace.span("game.drop"):
+                cm.charge(work=10, depth=2)
+                with trace.span("game.drop.phase"):
+                    cm.charge(work=7, depth=1)
+            cm.charge(work=3, depth=1)
+        drop = tr.root.find("game.drop")[0]
+        phase = tr.root.find("game.drop.phase")[0]
+        assert drop.work == 17 and phase.work == 7
+        assert drop.self_work() == 10
+        assert tr.root.work == cm.work == 20
+        assert tr.root.total_self_work() == tr.root.work
+
+    def test_sibling_instances_aggregate_into_one_node(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            for _ in range(5):
+                with trace.span("game.push"):
+                    cm.tick()
+        (node,) = tr.root.find("game.push")
+        assert node.count == 5 and node.work == 5
+
+    def test_attrs_split_nodes_but_detail_does_not(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            with trace.span("ladder.rung", H=1):
+                cm.tick()
+            with trace.span("ladder.rung", H=2):
+                cm.tick()
+            with trace.span("game.drop", detail={"tokens": 1}):
+                cm.tick()
+            with trace.span("game.drop", detail={"tokens": 9}):
+                cm.tick()
+        assert len(tr.root.find("ladder.rung")) == 2
+        assert len(tr.root.find("game.drop")) == 1
+
+    def test_spans_inside_parallel_branches(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            with cm.parallel() as region:
+                for h in (1, 2):
+                    with region.branch():
+                        with trace.span("ladder.rung", H=h):
+                            cm.charge(work=10 * h, depth=h)
+        rungs = {dict(n.attrs)["H"]: n for n in tr.root.find("ladder.rung")}
+        assert rungs[1].work == 10 and rungs[2].work == 20
+        assert tr.root.work == cm.work
+        assert tr.frame_mismatches == 0
+
+    def test_multiple_arming_windows_accumulate(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            with trace.span("batch"):
+                cm.charge(work=4, depth=1)
+        cm.charge(work=100, depth=1)  # unattributed: tracer disarmed
+        with trace.tracing(tr):
+            with trace.span("batch"):
+                cm.charge(work=6, depth=1)
+        assert tr.root.find("batch")[0].work == 10
+        assert tr.root.work == 10  # the untraced 100 is not attributed
+
+
+class TestExceptionUnwinding:
+    def test_exception_mid_phase_leaves_exact_accounting(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            try:
+                with trace.span("game.drop"):
+                    cm.charge(work=5, depth=1)
+                    with trace.span("game.drop.phase"):
+                        cm.charge(work=2, depth=1)
+                        raise ValueError("injected mid-phase")
+            except ValueError:
+                pass
+            # the replay continues after the guarded rollback
+            with trace.span("game.push"):
+                cm.charge(work=3, depth=1)
+        assert tr.open_spans == 0
+        assert tr.root.work == cm.work == 10
+        assert tr.root.total_self_work() == tr.root.work
+        assert tr.root.find("game.drop.phase")[0].work == 2
+
+    def test_exception_through_parallel_region_unwinds(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with trace.tracing(tr):
+            try:
+                with cm.parallel() as region:
+                    with region.branch():
+                        with trace.span("ladder.rung", H=1):
+                            cm.charge(work=8, depth=2)
+                            raise RuntimeError("branch died")
+            except RuntimeError:
+                pass
+        assert tr.open_spans == 0
+        assert tr.frame_mismatches == 0
+        assert tr.root.work == cm.work
+        assert tr.root.find("ladder.rung")[0].work == 8
+
+    def test_tracer_is_rearmable_after_exception(self):
+        cm = CostModel()
+        tr = traced(cm)
+        with pytest.raises(RuntimeError):
+            with trace.tracing(tr):
+                with trace.span("batch"):
+                    cm.tick()
+                    raise RuntimeError("torn down")
+        with trace.tracing(tr):
+            with trace.span("batch"):
+                cm.tick()
+        assert tr.open_spans == 0
+        assert tr.root.find("batch")[0].count == 2
+        assert tr.root.work == cm.work == 2
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_batches_total", kind="insert").inc()
+        reg.counter("repro_batches_total", kind="insert").inc(2)
+        reg.gauge("repro_last_batch_size").set(17)
+        reg.histogram("repro_batch_depth").observe(9)
+        assert reg.counter("repro_batches_total", kind="insert").value == 3
+        assert reg.gauge("repro_last_batch_size").value == 17
+        assert reg.histogram("repro_batch_depth").count == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ParameterError):
+            reg.gauge("repro_x_total")
+
+    def test_counter_rejects_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            reg.counter("repro_y_total").inc(-1)
+
+    def test_labels_identify_children(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_batches_total", kind="insert").inc()
+        reg.counter("repro_batches_total", kind="delete").inc(5)
+        values = {
+            dict(m.labels)["kind"]: m.value
+            for m in reg.collect()
+            if m.name == "repro_batches_total"
+        }
+        assert values == {"insert": 1, "delete": 5}
+
+    def test_histogram_buckets_are_powers_of_two(self):
+        h = Histogram("repro_w")
+        for v in (1, 2, 3, 1024, 1025):
+            h.observe(v)
+        # bucket e covers (2^(e-1), 2^e]
+        assert h.buckets[0] == 1  # value 1
+        assert h.buckets[1] == 1  # value 2
+        assert h.buckets[2] == 1  # value 3
+        assert h.buckets[10] == 1  # 1024
+        assert h.buckets[11] == 1  # 1025
+        assert h.count == 5 and h.max == 1025
+
+    def test_histogram_percentile_bounds(self):
+        h = Histogram("repro_w")
+        for v in (1, 2, 4, 8, 1000):
+            h.observe(v)
+        assert h.percentile(50) == 4.0
+        assert h.percentile(100) == 1024.0
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-0.5)
+
+
+class TestSeriesPercentiles:
+    def _series(self, depths):
+        s = Series()
+        for i, d in enumerate(depths):
+            s.add(BatchRecord("insert", 10, work=100 * (i + 1), depth=d, wall_seconds=0.0))
+        return s
+
+    def test_percentile_depth(self):
+        s = self._series([1, 2, 3, 4, 5])
+        assert s.percentile_depth(0) == 1.0
+        assert s.percentile_depth(50) == 3.0
+        assert s.percentile_depth(100) == 5.0
+
+    def test_percentile_depth_rejects_out_of_range(self):
+        s = self._series([1, 2, 3])
+        with pytest.raises(ValueError):
+            s.percentile_depth(-1)
+        with pytest.raises(ValueError):
+            s.percentile_depth(100.001)
+
+    def test_percentile_work_per_edge_rejects_out_of_range(self):
+        s = self._series([1, 2, 3])
+        with pytest.raises(ValueError):
+            s.percentile_work_per_edge(120)
+
+    def test_empty_series_percentiles_are_zero(self):
+        assert Series().percentile_depth(99) == 0.0
+
+
+class TestBatchTimerPublishing:
+    def test_batch_timer_mirrors_into_registry(self):
+        reg = MetricsRegistry()
+        cm = CostModel()
+        timer = BatchTimer(cm, registry=reg)
+        with timer.batch("insert", 4):
+            cm.charge(work=40, depth=3)
+            cm.count("drop_games")
+        assert reg.counter("repro_batches_total", kind="insert").value == 1
+        assert reg.counter("repro_work_total").value == 40
+        assert reg.gauge("repro_last_batch_size").value == 4
+        assert reg.histogram("repro_batch_depth").count == 1
+        assert reg.counter("repro_drop_games_total").value == 1
+
+    def test_batch_timer_without_registry_publishes_nothing(self):
+        cm = CostModel()
+        timer = BatchTimer(cm)
+        with timer.batch("insert", 2):
+            cm.tick()
+        assert len(timer.series.records) == 1

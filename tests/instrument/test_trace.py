@@ -1,0 +1,107 @@
+"""The thin span API: disarmed no-ops, arming, taxonomy registration."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.instrument import trace
+from repro.instrument.telemetry import Tracer
+from repro.instrument.work_depth import CostModel
+
+
+class TestDisarmed:
+    def test_span_returns_shared_null(self):
+        assert trace.ACTIVE is None
+        s1 = trace.span("game.drop")
+        s2 = trace.span("game.push", detail={"tokens": 3}, H=4)
+        assert s1 is trace.NULL
+        assert s2 is trace.NULL
+
+    def test_null_span_is_a_noop_context_manager(self):
+        with trace.span("ladder.rung", H=2) as node:
+            assert node is None
+
+    def test_event_is_a_noop(self):
+        trace.event("recovery.escalate", tier="rollback")  # must not raise
+
+    def test_unknown_names_are_not_checked_while_disarmed(self):
+        # the disarmed path must stay allocation-free, so no validation
+        with trace.span("definitely.not.registered"):
+            pass
+
+
+class TestArming:
+    def test_tracing_sets_and_restores_active(self):
+        cm = CostModel()
+        tr = Tracer(cm)
+        assert trace.ACTIVE is None
+        with trace.tracing(tr) as armed:
+            assert armed is tr
+            assert trace.ACTIVE is tr
+        assert trace.ACTIVE is None
+
+    def test_tracing_restores_previous_tracer_when_nested(self):
+        cm = CostModel()
+        outer, inner = Tracer(cm), Tracer(cm)
+        with trace.tracing(outer):
+            with trace.tracing(inner):
+                assert trace.ACTIVE is inner
+            assert trace.ACTIVE is outer
+
+    def test_tracing_disarms_on_exception(self):
+        cm = CostModel()
+        tr = Tracer(cm)
+        with pytest.raises(RuntimeError):
+            with trace.tracing(tr):
+                raise RuntimeError("boom")
+        assert trace.ACTIVE is None
+        assert tr.open_spans == 0
+
+    def test_armed_span_reaches_the_tracer(self):
+        cm = CostModel()
+        tr = Tracer(cm)
+        with trace.tracing(tr):
+            with trace.span("game.drop"):
+                cm.charge(work=5, depth=1)
+        assert tr.root.find("game.drop")[0].work == 5
+
+
+class TestTaxonomy:
+    def test_registered_names_cover_the_instrumented_sites(self):
+        for name in (
+            "batch",
+            "structure",
+            "ladder.rung",
+            "balanced.insert",
+            "balanced.delete",
+            "game.drop.phase",
+            "game.push.ranks",
+            "bundles.extract",
+            "pram.map",
+            "recovery.apply",
+        ):
+            assert name in trace.SPAN_TAXONOMY
+
+    def test_register_span_is_idempotent(self):
+        desc = trace.SPAN_TAXONOMY["game.drop"]
+        trace.register_span("game.drop", "something else")
+        assert trace.SPAN_TAXONOMY["game.drop"] == desc
+
+    def test_register_span_rejects_malformed_names(self):
+        with pytest.raises(ParameterError):
+            trace.register_span("", "empty")
+        with pytest.raises(ParameterError):
+            trace.register_span("a..b", "empty dotted part")
+
+    def test_strict_tracer_rejects_unknown_names(self):
+        tr = Tracer(CostModel())
+        with trace.tracing(tr):
+            with pytest.raises(ParameterError):
+                trace.span("no.such.span")
+
+    def test_lenient_tracer_accepts_unknown_names(self):
+        cm = CostModel()
+        tr = Tracer(cm, strict=False)
+        with trace.tracing(tr):
+            with trace.span("adhoc.name"):
+                cm.tick()
+        assert tr.root.find("adhoc.name")[0].count == 1

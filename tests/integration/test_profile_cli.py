@@ -1,0 +1,123 @@
+"""`repro profile` and the telemetry flags of `repro run`, end to end."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.instrument.export import (
+    parse_prometheus,
+    read_jsonl,
+    validate_bench_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "t.txt"
+    rc = main(
+        [
+            "generate", "--family", "planted", "--n", "32", "--m", "90",
+            "--pattern", "insert-delete", "--batch-size", "12",
+            "--out", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestProfile:
+    def test_phase_tree_sums_to_cost_model_total(self, trace_path, capsys):
+        rc = main(
+            ["profile", "--trace", str(trace_path), "--mode", "coreness"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        match = re.search(
+            r"phase-tree work (\d+) == cost-model work (\d+) \(exact\)", out
+        )
+        assert match, out
+        assert match.group(1) == match.group(2)
+        assert "ladder.rung" in out
+        assert "(self" in out  # explicit self-accounting rows
+
+    def test_check_passes_bit_identity(self, trace_path, capsys):
+        rc = main(
+            [
+                "profile", "--trace", str(trace_path), "--mode", "coreness",
+                "--check",
+            ]
+        )
+        assert rc == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_bench_and_prom_artifacts(self, trace_path, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "profile", "--trace", str(trace_path), "--mode", "both",
+                "--name", "smoke", "--bench-out", str(tmp_path),
+                "--prom", str(prom),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+        assert validate_bench_payload(payload) == []
+        assert payload["name"] == "smoke"
+        assert payload["batches"] > 0
+        assert any("ladder.rung" in k for k in payload["phase_shares"])
+        shares = payload["phase_shares"]
+        total = shares["run"]["work"]
+        assert total == payload["total_work"]
+        assert sum(s["self_work"] for s in shares.values()) == total
+        samples = parse_prometheus(prom.read_text())
+        assert samples[("repro_work_total", ())] == payload["total_work"]
+
+    def test_telemetry_jsonl(self, trace_path, tmp_path):
+        log = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "profile", "--trace", str(trace_path), "--mode", "coreness",
+                "--telemetry", str(log),
+            ]
+        )
+        assert rc == 0
+        events = read_jsonl(log)
+        assert events
+        names = {e["name"] for e in events}
+        assert {"batch", "structure", "ladder.rung"} <= names
+
+
+class TestRunFlags:
+    def test_run_telemetry_flag(self, trace_path, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "run", "--trace", str(trace_path), "--mode", "coreness",
+                "--telemetry", str(log),
+            ]
+        )
+        assert rc == 0
+        assert "telemetry events" in capsys.readouterr().out
+        assert read_jsonl(log)
+
+    def test_run_progress_flag(self, trace_path, capsys):
+        rc = main(
+            [
+                "run", "--trace", str(trace_path), "--mode", "coreness",
+                "--progress", "2",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        lines = [ln for ln in err.splitlines() if ln.startswith("[progress]")]
+        assert lines
+        assert all("work=" in ln and "depth=" in ln for ln in lines)
+
+    def test_run_without_flags_stays_disarmed(self, trace_path, capsys):
+        rc = main(["run", "--trace", str(trace_path), "--mode", "coreness"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[progress]" not in captured.err
+        assert "telemetry" not in captured.out
