@@ -1,0 +1,196 @@
+"""E22 — ladder sharding: executor backends and rung-skip filtering.
+
+The ladder's rungs are independent (that independence *is* Theorems
+1.1/1.2's parallelism), so rung sweeps route through a pluggable executor
+(docs/PERFORMANCE.md).  This experiment drives a skewed stream — a planted
+dense block that saturates the low rungs plus a sparse periphery that
+leaves the tall rungs untouched — through four configurations:
+
+* **serial** — the default backend; the cost-model baseline.
+* **process x2** — real process parallelism with merged worker deltas;
+  the delta-merge contract makes its work/depth/counters *bit-identical*
+  to serial (asserted below), so the win is wall-clock + the Brent bound.
+* **skip** — rung-skip filtering; tall rungs whose hint sits above the
+  degree bound defer updates, cutting *model work* without changing any
+  answer (asserted below).
+* **process x2 + skip** — both.
+
+Absolute wall-clock numbers include pool startup and pickling and are
+hardware-noisy; the reproduction targets are the invariants (bit-identity,
+answer-preservation) and the work/skip shapes.  ``REPRO_E22_TINY=1``
+shrinks the trace for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import CorenessDecomposition, DensityEstimator
+from repro.graphs import generators as gen, streams
+from repro.instrument import BatchTimer, CostModel, parallelism, project, render_table
+from repro.pram import ProcessExecutor, SerialExecutor
+
+from common import CONSTANTS, EPS, Experiment, write_bench
+
+TINY = bool(os.environ.get("REPRO_E22_TINY"))
+if TINY:
+    N, BLOCK, PERIPHERY, BATCH = 24, 6, 40, 12
+else:
+    N, BLOCK, PERIPHERY, BATCH = 56, 12, 150, 24
+P = 16  # Brent projection processor count
+
+
+def _trace():
+    _, edges = gen.planted_dense(N, BLOCK, p_in=0.8, out_edges=PERIPHERY, seed=22)
+    return streams.insert_then_delete(edges, BATCH, seed=22)
+
+
+def measure(workers: int = 1, rung_skip: bool = False):
+    """Drive both ladders through one configuration; return the observables."""
+    ops = _trace()
+    cm = CostModel()
+    executor = (
+        ProcessExecutor(max_workers=workers) if workers > 1 else SerialExecutor()
+    )
+    core = CorenessDecomposition(
+        N, eps=EPS, cm=cm, constants=CONSTANTS, seed=22,
+        executor=executor, rung_skip=rung_skip,
+    )
+    dens = DensityEstimator(
+        N, eps=EPS, cm=cm, constants=CONSTANTS, seed=22,
+        executor=executor, rung_skip=rung_skip,
+    )
+    timer = BatchTimer(cm)
+    t0 = time.perf_counter()
+    try:
+        for op in ops:
+            with timer.batch(op.kind, op.size):
+                for st in (core, dens):
+                    if op.kind == "insert":
+                        st.insert_batch(op.edges)
+                    else:
+                        st.delete_batch(op.edges)
+        wall = time.perf_counter() - t0
+        answers = (core.estimates(), core.max_estimate(), dens.density_estimate())
+    finally:
+        executor.close()
+    return {
+        "work": cm.work,
+        "depth": cm.depth,
+        "counters": dict(cm.counters),
+        "skipped": cm.counters.get("ladder_rungs_skipped", 0),
+        "wall": wall,
+        "answers": answers,
+        "series": timer.series,
+    }
+
+
+CONFIGS = [
+    ("serial", dict(workers=1, rung_skip=False)),
+    ("process x2", dict(workers=2, rung_skip=False)),
+    ("skip", dict(workers=1, rung_skip=True)),
+    ("process x2 + skip", dict(workers=2, rung_skip=True)),
+]
+
+
+def run_experiment() -> Experiment:
+    runs = {name: measure(**kw) for name, kw in CONFIGS}
+    base = runs["serial"]
+    rows = []
+    for name, _ in CONFIGS:
+        r = runs[name]
+        t16 = project(r["work"], r["depth"], [P])[0].time_upper
+        rows.append(
+            (
+                name,
+                r["work"],
+                f"{r['work'] / base['work']:.2f}x",
+                r["depth"],
+                r["skipped"],
+                f"{parallelism(r['work'], r['depth']):.1f}",
+                f"{t16:.0f}",
+                f"{r['wall']:.2f}s",
+            )
+        )
+    table = render_table(
+        ["config", "model work", "vs serial", "depth", "rungs skipped",
+         "W/D", f"Brent T_{P} (<=)", "wall"],
+        rows,
+    )
+    # the two contracts this subsystem is built on
+    assert (base["work"], base["depth"], base["counters"]) == (
+        runs["process x2"]["work"],
+        runs["process x2"]["depth"],
+        runs["process x2"]["counters"],
+    ), "delta merge must keep process accounting bit-identical to serial"
+    assert base["answers"] == runs["skip"]["answers"], (
+        "rung-skip must not change any query answer"
+    )
+    write_bench(
+        "e22_ladder_scaling",
+        base["series"],
+        extra={
+            "configs": {
+                name: {
+                    "work": runs[name]["work"],
+                    "depth": runs[name]["depth"],
+                    "rungs_skipped": runs[name]["skipped"],
+                    "wall_seconds": runs[name]["wall"],
+                }
+                for name, _ in CONFIGS
+            }
+        },
+    )
+    saved = 1.0 - runs["skip"]["work"] / base["work"]
+    return Experiment(
+        exp_id="E22",
+        title="ladder sharding — executor backends and rung-skip filtering",
+        claim=(
+            "the ladder's rungs are independent, so rung sweeps parallelise "
+            "across processes with merged cost accounting (bit-identical "
+            "work/depth/counters to serial) and provably-unaffected rungs "
+            "can be skipped without changing any answer"
+        ),
+        table=table,
+        conclusion=(
+            f"the process backend reproduces serial accounting exactly "
+            f"(asserted, bit-for-bit) while the Brent bound projects the "
+            f"sweep's W/D parallelism; rung-skip filtering removes "
+            f"{100 * saved:.0f}% of the model work on this skewed trace "
+            f"({runs['skip']['skipped']} rung-batches deferred) with "
+            f"byte-identical query answers (asserted) — the filtering is "
+            f"pure savings, not approximation.  At laptop scale the pool's "
+            f"pickling overhead outweighs real parallelism (honest mismatch: "
+            f"the wall column shows process > serial), so the speedup story "
+            f"rests on the Brent projection of the measured W/D, which is "
+            f"what a shared-memory backend would realise."
+        ),
+    )
+
+
+def test_e22_backends_agree():
+    serial = measure(workers=1)
+    proc = measure(workers=2)
+    assert (serial["work"], serial["depth"], serial["counters"]) == (
+        proc["work"],
+        proc["depth"],
+        proc["counters"],
+    )
+    assert serial["answers"] == proc["answers"]
+
+
+def test_e22_skip_reduces_work_and_preserves_answers():
+    plain = measure(workers=1)
+    skip = measure(workers=1, rung_skip=True)
+    assert skip["work"] < plain["work"]
+    assert skip["skipped"] > 0
+    assert skip["answers"] == plain["answers"]
+
+
+def test_e22_wallclock(benchmark):
+    benchmark.pedantic(lambda: measure(workers=1), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

@@ -10,6 +10,7 @@ from .cost import CostAccountingChecker
 from .determinism import DeterminismChecker
 from .hygiene import ApiHygieneChecker
 from .observability import ObservabilityChecker
+from .parallelism import ParallelismChecker
 from .races import RaceChecker
 
 #: the default checker suite, in report order.
@@ -18,6 +19,7 @@ ALL_CHECKERS = [
     DeterminismChecker,
     RaceChecker,
     ObservabilityChecker,
+    ParallelismChecker,
     ApiHygieneChecker,
 ]
 
@@ -27,5 +29,6 @@ __all__ = [
     "CostAccountingChecker",
     "DeterminismChecker",
     "ObservabilityChecker",
+    "ParallelismChecker",
     "RaceChecker",
 ]

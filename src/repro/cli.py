@@ -27,7 +27,7 @@ import sys
 from typing import Optional, Sequence
 
 from .baselines import core_numbers, exact_density, greedy_peeling_density
-from .config import Constants
+from .config import Constants, ExecConfig
 from .core import CorenessDecomposition, DensityEstimator
 from .graphs import DynamicGraph, generators, streams
 from .graphs.tracefile import read_trace, validate_trace, write_trace
@@ -81,15 +81,38 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def _build_structures(args, n: int, cm: CostModel) -> list[tuple[str, object]]:
+def _exec_config(args) -> ExecConfig:
+    """The execution-backend configuration the CLI flags describe."""
+    return ExecConfig(
+        workers=getattr(args, "workers", 1),
+        rung_skip=bool(getattr(args, "rung_skip", False)),
+    )
+
+
+def _build_structures(
+    args, n: int, cm: CostModel, executor: object = None
+) -> list[tuple[str, object]]:
+    rung_skip = bool(getattr(args, "rung_skip", False))
     structures: list[tuple[str, object]] = []
     if args.mode in ("coreness", "both"):
         structures.append(
-            ("coreness", CorenessDecomposition(n, eps=args.eps, cm=cm, constants=CONSTANTS))
+            (
+                "coreness",
+                CorenessDecomposition(
+                    n, eps=args.eps, cm=cm, constants=CONSTANTS,
+                    executor=executor, rung_skip=rung_skip,
+                ),
+            )
         )
     if args.mode in ("density", "both"):
         structures.append(
-            ("density", DensityEstimator(n, eps=args.eps, cm=cm, constants=CONSTANTS))
+            (
+                "density",
+                DensityEstimator(
+                    n, eps=args.eps, cm=cm, constants=CONSTANTS,
+                    executor=executor, rung_skip=rung_skip,
+                ),
+            )
         )
     if not structures:
         raise SystemExit(f"unknown mode {args.mode!r}")
@@ -139,29 +162,33 @@ def cmd_run(args) -> int:
     cm = CostModel()
     REGISTRY.clear()
     timer = BatchTimer(cm, registry=REGISTRY)
-    structures = _build_structures(args, n, cm)
+    executor = _exec_config(args).make_executor()
+    try:
+        structures = _build_structures(args, n, cm, executor=executor)
 
-    progress = getattr(args, "progress", 0)
-    telemetry = getattr(args, "telemetry", None)
-    jsonl = None
-    if telemetry or progress:
-        sinks: list = []
-        if telemetry:
-            jsonl = JsonlSink(telemetry)
-            sinks.append(jsonl)
-        if progress:
-            sinks.append(_progress_sink())
-        tracer = Tracer(cm, sinks=sinks)
-        try:
-            with _trace.tracing(tracer):
-                _replay(ops, structures, timer, progress=progress)
-        finally:
-            if jsonl is not None:
-                jsonl.close()
-        if telemetry:
-            print(f"wrote {jsonl.events_written} telemetry events to {telemetry}")
-    else:
-        _replay(ops, structures, timer)
+        progress = getattr(args, "progress", 0)
+        telemetry = getattr(args, "telemetry", None)
+        jsonl = None
+        if telemetry or progress:
+            sinks: list = []
+            if telemetry:
+                jsonl = JsonlSink(telemetry)
+                sinks.append(jsonl)
+            if progress:
+                sinks.append(_progress_sink())
+            tracer = Tracer(cm, sinks=sinks)
+            try:
+                with _trace.tracing(tracer):
+                    _replay(ops, structures, timer, progress=progress)
+            finally:
+                if jsonl is not None:
+                    jsonl.close()
+            if telemetry:
+                print(f"wrote {jsonl.events_written} telemetry events to {telemetry}")
+        else:
+            _replay(ops, structures, timer)
+    finally:
+        executor.close()
 
     series = timer.series
     rows = [
@@ -198,12 +225,13 @@ def cmd_profile(args) -> int:
     """
     ops = read_trace(args.trace)
     n = max(validate_trace(ops), 2)
+    executor = _exec_config(args).make_executor()
 
     def measure(armed: bool):
         cm = CostModel()
         REGISTRY.clear()
         timer = BatchTimer(cm, registry=REGISTRY)
-        structures = _build_structures(args, n, cm)
+        structures = _build_structures(args, n, cm, executor=executor)
         if not armed:
             _replay(ops, structures, timer)
             return cm, timer, None
@@ -217,6 +245,13 @@ def cmd_profile(args) -> int:
                 jsonl.close()
         return cm, timer, tracer
 
+    try:
+        return _profile_body(args, measure)
+    finally:
+        executor.close()
+
+
+def _profile_body(args, measure) -> int:
     cm, timer, tracer = measure(armed=True)
     root = tracer.root
     if root.work != cm.work or root.total_self_work() != root.work:
@@ -332,6 +367,14 @@ def cmd_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _add_exec_args(sub: argparse.ArgumentParser) -> None:
+    """Execution-backend flags shared by ``run`` and ``profile``."""
+    sub.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="rung-sweep process count (1 = serial, the default)")
+    sub.add_argument("--rung-skip", action="store_true",
+                     help="defer provably-unaffected ladder rungs (perf opt)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser with all subcommands attached."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -361,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSONL span/event log to PATH")
     r.add_argument("--progress", type=int, default=0, metavar="K",
                    help="log every K-th batch via the telemetry event sink")
+    _add_exec_args(r)
     r.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -381,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the metrics registry as Prometheus text")
     p.add_argument("--check", action="store_true",
                    help="replay disarmed too; fail on any work/depth/counter drift")
+    _add_exec_args(p)
     p.set_defaults(func=cmd_profile)
 
     e = sub.add_parser("exact", help="exact offline measures of a trace's final graph")

@@ -87,6 +87,47 @@ class Constants:
 DEFAULT_CONSTANTS = Constants()
 
 
+@dataclass(frozen=True)
+class ExecConfig:
+    """Execution-backend configuration for the ladder sweeps.
+
+    Orthogonal to :class:`Constants` (which shape the *answers*): these
+    knobs only change how the independent rung sweeps are scheduled and
+    filtered, never what any query returns.  The default — one in-process
+    worker, no filtering — reproduces the historical inline loops
+    bit-for-bit; ``workers > 1`` fans rungs out to a process pool with
+    merged cost/telemetry deltas, and ``rung_skip`` defers provably
+    unaffected rungs (docs/PERFORMANCE.md).  The CLI maps ``--workers``
+    and ``--rung-skip`` onto this.
+
+    Attributes
+    ----------
+    workers:
+        Process count for the rung sweep; ``<= 1`` means serial.
+    rung_skip:
+        Enable rung-relevance filtering (degree-bound skip certificates).
+    """
+
+    workers: int = 1
+    rung_skip: bool = False
+
+    def make_executor(self):
+        """Build the executor this configuration describes.
+
+        Returns a fresh :class:`~repro.pram.executor.SerialExecutor` or
+        :class:`~repro.pram.executor.ProcessExecutor`; the caller owns it
+        (``close()`` releases a process pool).
+        """
+        from .pram.executor import ProcessExecutor, SerialExecutor
+
+        if self.workers > 1:
+            return ProcessExecutor(max_workers=self.workers)
+        return SerialExecutor()
+
+
+DEFAULT_EXEC = ExecConfig()
+
+
 def check_eps(eps: float) -> float:
     """Validate an approximation parameter.
 

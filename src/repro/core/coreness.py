@@ -9,21 +9,29 @@ rung whose estimate drops below its hint.  The sandwich
 
 gives the ``4 + eps``-approximation
 ``core_ALG(v) in [(1/2 - eps) core(v), (2 + eps) core(v)]`` w.h.p.
+
+Rung sweeps route through a pluggable executor and optionally skip
+provably-unaffected rungs; queries binary-search the saturation-monotone
+ladder and memoise per vertex (see :mod:`repro.core.ladder` and
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, ladder_heights
-from ..instrument import trace as _trace
 from ..instrument.work_depth import CostModel
 from ..resilience.guard import Transactional
 from .coreness_fixed import FixedHCorenessEstimator
+from .ladder import RungLadder
 
 
-class CorenessDecomposition(Transactional):
+class CorenessDecomposition(RungLadder, Transactional):
     """Batch-dynamic ``(4 + eps)``-approximate coreness for all vertices."""
+
+    # insert/delete_batch charge the O(|batch|) dispatch themselves.
+    _dispatch_precharged = True
 
     def __init__(
         self,
@@ -33,6 +41,8 @@ class CorenessDecomposition(Transactional):
         constants: Constants = DEFAULT_CONSTANTS,
         seed: int = 0,
         h_max: Optional[int] = None,
+        executor: Optional[Any] = None,
+        rung_skip: bool = False,
     ) -> None:
         self.n = n
         self.eps = check_eps(eps)
@@ -48,6 +58,7 @@ class CorenessDecomposition(Transactional):
             for i, H in enumerate(self.heights)
         ]
         self._touched: set[int] = set()
+        self._init_ladder(executor, rung_skip)
 
     # -- updates (the rungs are independent — the parallel ladder) -------------
 
@@ -58,20 +69,12 @@ class CorenessDecomposition(Transactional):
         for u, v in edges:
             self._touched.add(u)
             self._touched.add(v)
-        with self.cm.parallel() as region:
-            for rung, H in zip(self.rungs, self.heights):
-                with region.branch():
-                    with _trace.span("ladder.rung", H=H):
-                        rung.insert_batch(edges)
+        self._ladder_dispatch("insert_batch", edges)
 
     def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = list(edges)
         self.cm.charge(work=len(edges) + 1, depth=1)
-        with self.cm.parallel() as region:
-            for rung, H in zip(self.rungs, self.heights):
-                with region.branch():
-                    with _trace.span("ladder.rung", H=H):
-                        rung.delete_batch(edges)
+        self._ladder_dispatch("delete_batch", edges)
 
     def update_batch(self, insertions=(), deletions=()) -> None:
         """One mixed batch: deletions first, then insertions."""
@@ -83,22 +86,53 @@ class CorenessDecomposition(Transactional):
 
     # -- queries ---------------------------------------------------------------
 
+    def _rung_unsaturated(self, i: int, v: int) -> bool:
+        """Is rung ``i`` unsaturated at ``v``?  Deferred rungs provably are."""
+        self.cm.tick()  # one rung probe (queries are charged per probe)
+        if self.rung_skip and not self._live[i]:
+            return True
+        return self.rungs[i].estimate(v) < self.heights[i]
+
+    def _compute_estimate(self, v: int) -> float:
+        """Binary-search the first unsaturated rung (saturation-monotone).
+
+        Rung saturation is monotone down the ladder — a vertex saturating
+        height ``H`` saturates every smaller hint w.h.p. — so the linear
+        first-unsaturated scan is a predicate flip the search finds with
+        O(log #rungs) rung probes instead of O(#rungs).
+        """
+        hi = len(self.rungs) - 1
+        if not self._rung_unsaturated(hi, v):
+            return float(self.heights[-1])
+        lo = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._rung_unsaturated(mid, v):
+                hi = mid
+            else:
+                lo = mid + 1
+        return float(self.heights[lo])
+
     def estimate(self, v: int) -> float:
-        """``core_ALG(v)``: the first unsaturated rung's height."""
-        for rung, H in zip(self.rungs, self.heights):
-            if rung.estimate(v) < H:
-                return float(H)
-        return float(self.heights[-1])
+        """``core_ALG(v)``: the first unsaturated rung's height (memoised)."""
+        cached = self._est_cache.get(v)
+        if cached is not None:
+            return cached
+        value = self._compute_estimate(v)
+        self._est_cache[v] = value
+        return value
 
     def estimates(self, vertices: Optional[Sequence[int]] = None) -> dict[int, float]:
         vs = list(vertices) if vertices is not None else sorted(self._touched)
         return {v: self.estimate(v) for v in vs}
 
     def max_estimate(self) -> float:
-        return max(
-            (self.estimate(v) for v in self._touched),
-            default=float(self.heights[0]),
-        )
+        if self._max_est is None:
+            self._max_est = max(
+                (self.estimate(v) for v in self._touched),
+                default=float(self.heights[0]),
+            )
+        return self._max_est
 
     def check_invariants(self) -> None:
         for rung in self.rungs:

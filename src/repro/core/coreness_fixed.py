@@ -29,10 +29,11 @@ from ..config import DEFAULT_CONSTANTS, Constants, check_eps, check_height
 from ..instrument.work_depth import CostModel
 from .balanced import BalancedOrientation
 from .duplicated import DuplicatedBalanced
+from .ladder import RungOps
 from .sampling import EdgeSampler
 
 
-class FixedHCorenessEstimator:
+class FixedHCorenessEstimator(RungOps):
     """Theorem 5.1's data structure for one height hint ``H``."""
 
     def __init__(
@@ -106,6 +107,33 @@ class FixedHCorenessEstimator:
     def saturated(self, v: int) -> bool:
         """True when ``f(v) >= H`` (only a lower bound on core(v) is known)."""
         return self.estimate(v) >= self.H
+
+    def skip_threshold(self) -> int:
+        """Max-degree bound below which this rung is provably unsaturated.
+
+        Duplication: ``f(v) = d+(v)/K <= deg(v)`` (each of the K copies
+        contributes at most one out-arc per incident edge), so every
+        estimate stays below ``H`` while the max degree does.  Sampling:
+        ``f(v) = (H/B) d+(v) <= (H/B) deg(v) < H`` iff ``deg(v) < B``.
+        A batch arriving while the ladder's running degree bound sits
+        under this threshold cannot change any query answer.
+        """
+        return self.H if self.regime == "duplication" else self.B
+
+    def journal_vertices(self) -> set[int]:
+        """Vertices whose out-degree the last batch may have changed.
+
+        Endpoints of every arc the inner orientation inserted, deleted or
+        reversed — the exact invalidation set for the ladder's per-vertex
+        estimate cache.
+        """
+        inner = self.dup.inner if self.dup is not None else self.bal
+        touched: set[int] = set()
+        for journal in (inner.last_reversed, inner.last_inserted, inner.last_deleted):
+            for tail, head, _copy in journal:
+                touched.add(tail)
+                touched.add(head)
+        return touched
 
     def check_invariants(self) -> None:
         if self.regime == "duplication":

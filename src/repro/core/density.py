@@ -8,21 +8,26 @@ geometric ladder.  The first rung whose verdict is "low" pins the density:
 and exports that rung's orientation, in which every out-degree is at most
 ``(2 + eps) rho(G)``.  The arboricity estimate is ``lambda_ALG = 2 rho_ALG``
 (Nash-Williams sandwiches ``rho <= lambda <= 2 rho``).
+
+Rung sweeps route through a pluggable executor and optionally skip
+provably-"low" rungs; the first-"low" query binary-searches the
+verdict-monotone ladder and memoises its index (see
+:mod:`repro.core.ladder` and docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, ladder_heights
 from ..errors import InvariantViolation
-from ..instrument import trace as _trace
 from ..instrument.work_depth import CostModel
 from ..resilience.guard import Transactional
 from .density_fixed import FixedHDensityGuard
+from .ladder import RungLadder
 
 
-class DensityEstimator(Transactional):
+class DensityEstimator(RungLadder, Transactional):
     """Batch-dynamic ``(1 + eps)`` density estimate + low out-degree orientation."""
 
     def __init__(
@@ -33,6 +38,8 @@ class DensityEstimator(Transactional):
         constants: Constants = DEFAULT_CONSTANTS,
         seed: int = 0,
         h_max: Optional[int] = None,
+        executor: Optional[Any] = None,
+        rung_skip: bool = False,
     ) -> None:
         self.n = n
         self.eps = check_eps(eps)
@@ -47,24 +54,15 @@ class DensityEstimator(Transactional):
             )
             for i, H in enumerate(self.heights)
         ]
+        self._init_ladder(executor, rung_skip)
 
     # -- updates ------------------------------------------------------------------
 
     def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
-        edges = list(edges)
-        with self.cm.parallel() as region:
-            for rung, H in zip(self.rungs, self.heights):
-                with region.branch():
-                    with _trace.span("ladder.rung", H=H):
-                        rung.insert_batch(edges)
+        self._ladder_dispatch("insert_batch", list(edges))
 
     def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
-        edges = list(edges)
-        with self.cm.parallel() as region:
-            for rung, H in zip(self.rungs, self.heights):
-                with region.branch():
-                    with _trace.span("ladder.rung", H=H):
-                        rung.delete_batch(edges)
+        self._ladder_dispatch("delete_batch", list(edges))
 
     def update_batch(self, insertions=(), deletions=()) -> None:
         """One mixed batch: deletions first, then insertions."""
@@ -76,14 +74,43 @@ class DensityEstimator(Transactional):
 
     # -- queries --------------------------------------------------------------------
 
+    def _rung_low(self, i: int) -> bool:
+        """Rung ``i``'s verdict; deferred rungs are provably "low"."""
+        self.cm.tick()  # one verdict probe (queries are charged per probe)
+        if self.rung_skip and not self._live[i]:
+            return True
+        return self.rungs[i].guarantees_low()
+
     def _first_low(self) -> int:
-        for k, rung in enumerate(self.rungs):
-            if rung.guarantees_low():
-                return k
-        raise InvariantViolation(
-            "no ladder rung certifies a density upper bound — the top rung "
-            "should always be 'low' since H_top >= n >= rho(G)"
-        )
+        """Index of the first "low" rung (verdict-monotone binary search).
+
+        The verdict is monotone up the ladder — a rung certifying
+        ``rho <= (1+eps) H`` implies every taller hint certifies too —
+        so the first-"low" scan is a predicate flip found with O(log
+        #rungs) verdict probes.  The winning rung is materialised (its
+        deferred queue flushed) because callers read its concrete
+        orientation; rungs above and below keep their savings.
+        """
+        if self._fl_cache is None:
+            hi = len(self.rungs) - 1
+            if not self._rung_low(hi):
+                raise InvariantViolation(
+                    "no ladder rung certifies a density upper bound — the top "
+                    "rung should always be 'low' since H_top >= n >= rho(G)"
+                )
+            lo = 0
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._rung_low(mid):
+                    hi = mid
+                else:
+                    lo = mid + 1
+            self._fl_cache = lo
+        k = self._fl_cache
+        if self.rung_skip and not self._live[k]:
+            self._flush_rung(k)  # still "low": its skip certificate held throughout
+            self._fl_cache = k  # _flush_rung clears the caches; the index stands
+        return k
 
     def density_estimate(self) -> float:
         """``rho_ALG`` (the first 'low' rung's height)."""

@@ -31,13 +31,15 @@ from typing import Iterable, Literal, Optional
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, check_height
 from ..graphs.graph import norm_edge
 from ..instrument.work_depth import CostModel
+from ..pram.executor import RungTask, SerialExecutor
 from .balanced import BalancedOrientation
 from .duplicated import DuplicatedBalanced
+from .ladder import RungOps
 
 Verdict = Literal["low", "high"]
 
 
-class FixedHDensityGuard:
+class FixedHDensityGuard(RungOps):
     """Theorem 5.2's data structure for one height hint ``H``."""
 
     def __init__(
@@ -48,6 +50,7 @@ class FixedHDensityGuard:
         cm: Optional[CostModel] = None,
         constants: Constants = DEFAULT_CONSTANTS,
         seed: int = 0,
+        executor: Optional[object] = None,
     ) -> None:
         self.H = check_height(H)
         self.eps = check_eps(eps)
@@ -56,6 +59,7 @@ class FixedHDensityGuard:
         self.seed = seed
         self.B = constants.B(n, eps)
         self.cm = cm if cm is not None else CostModel()
+        self.executor = executor if executor is not None else SerialExecutor()
         self.changed_edges: set[tuple[int, int]] = set()
 
         if self.H >= self.B / eps:
@@ -105,15 +109,7 @@ class FixedHDensityGuard:
             self.dup.insert_batch(edges)
             self._absorb_journal(self.dup.inner)
             return
-        groups: dict[int, list[tuple[int, int]]] = {}
-        for e in edges:
-            groups.setdefault(self._bucket_of(*e), []).append(e)
-        with self.cm.parallel() as region:
-            for i in sorted(groups):
-                with region.branch():
-                    bucket = self._bucket(i)
-                    bucket.insert_batch(groups[i])
-                    self._absorb_journal(bucket)
+        self._bucket_sweep("insert_batch", edges)
 
     def delete_batch(self, edges: Iterable[tuple[int, int]]) -> None:
         edges = [norm_edge(u, v) for u, v in edges]
@@ -122,15 +118,37 @@ class FixedHDensityGuard:
             self.dup.delete_batch(edges)
             self._absorb_journal(self.dup.inner)
             return
+        self._bucket_sweep("delete_batch", edges)
+
+    def _bucket_sweep(self, method: str, edges: list[tuple[int, int]]) -> None:
+        """Run each bucket's share as an independent executor task.
+
+        The buckets are the ``T`` independent BALANCED(B) structures of
+        the partition regime — the same shape as the ladder's rung sweep,
+        so they share the executor protocol.  Journal absorption happens
+        coordinator-side inside each task's accounting branch (``finish``)
+        exactly where the inline loop charged it.
+        """
         groups: dict[int, list[tuple[int, int]]] = {}
         for e in edges:
             groups.setdefault(self._bucket_of(*e), []).append(e)
-        with self.cm.parallel() as region:
-            for i in sorted(groups):
-                with region.branch():
-                    bucket = self._bucket(i)
-                    bucket.delete_batch(groups[i])
-                    self._absorb_journal(bucket)
+        tasks = [
+            RungTask(
+                structure=self._bucket(i),
+                method=method,
+                args=(groups[i],),
+                finish=self._absorb_journal,
+                install=self._bucket_installer(i),
+            )
+            for i in sorted(groups)
+        ]
+        self.executor.run_structures(self.cm, tasks)
+
+    def _bucket_installer(self, i: int):
+        def install(bucket: BalancedOrientation) -> None:
+            self._buckets[i] = bucket
+
+        return install
 
     def _absorb_journal(self, inner: BalancedOrientation) -> None:
         """Record undirected edges whose orientation may have changed —
@@ -153,6 +171,17 @@ class FixedHDensityGuard:
 
     def guarantees_low(self) -> bool:
         return self.verdict() == "low"
+
+    def skip_threshold(self) -> int:
+        """Max-degree bound below which the verdict is provably "low".
+
+        Duplication: the inner multigraph out-degree of ``v`` is at most
+        ``K deg(v) < K H`` while the max degree stays below ``H``.
+        Buckets: each bucket's out-degree at ``v`` is bounded by ``v``'s
+        degree inside the bucket, below ``B`` while the max degree is.
+        A batch arriving under this threshold cannot flip the verdict.
+        """
+        return self.H if self.regime == "duplication" else self.B
 
     # -- exported orientation (valid when verdict() == "low") ---------------------------
 

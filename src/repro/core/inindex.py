@@ -6,11 +6,22 @@ with that truncated rank and label, ordered by ``min(H, d+(w))``.  The
 only query ever issued is "give me an incoming edge with truncated rank
 ``i``, label ``c``, whose tail sits at truncated level exactly ``L``" —
 i.e. a lookup of the *minimum-level* element after checking its key, so a
-bucketed index (nested dicts: ``(tr, label) -> level -> set of tails``)
+bucketed index (nested dicts: ``(tr, label) -> level -> treap of tails``)
 supports the identical access pattern.  Levels are bounded by ``H`` after
 truncation, so buckets are exact, not approximations.
 
-Cost parity: every mutation here is one dictionary/set operation, charged
+Each bucket is a :class:`~repro.pbst.treap.Treap` (the paper's BST) rather
+than a hash set, and ``any_at`` answers with the *minimum* filed tail.  The
+games only need *some* tail, but the choice must be a pure function of the
+bucket's contents: a hash set's iteration order depends on its internal
+table history, which a pickle round-trip rebuilds differently -- the
+process executor ships structures across workers, and replicas must take
+identical trajectories for serial and process runs to report identical
+work/depth/counters (docs/PERFORMANCE.md).  Treaps are history-independent
+(one shape per key set, priorities derived from keys), so the pick is
+canonical.
+
+Cost parity: every mutation here is one dictionary/treap operation, charged
 by the enclosing structure at the [PP01] rate the paper charges
 (``O(log n)`` per edge touched; Lemmas 4.3/4.4).
 """
@@ -19,6 +30,8 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from ..pbst.treap import Treap
+
 
 class InIndex:
     """Incoming-edge index of one vertex."""
@@ -26,25 +39,23 @@ class InIndex:
     __slots__ = ("_buckets",)
 
     def __init__(self) -> None:
-        # (tr, label) -> { levkey -> set(tails) }
-        self._buckets: dict[tuple[int, int], dict[int, set[int]]] = {}
+        # (tr, label) -> { levkey -> Treap(tails) }
+        self._buckets: dict[tuple[int, int], dict[int, Treap]] = {}
 
     def add(self, tail: int, tr: int, label: int, lev: int) -> None:
         by_level = self._buckets.setdefault((tr, label), {})
-        bucket = by_level.setdefault(lev, set())
-        if tail in bucket:
+        bucket = by_level.setdefault(lev, Treap())
+        if not bucket.insert(tail):
             raise AssertionError(f"in-edge from {tail} already filed at {(tr, label, lev)}")
-        bucket.add(tail)
 
     def remove(self, tail: int, tr: int, label: int, lev: int) -> None:
-        try:
-            by_level = self._buckets[(tr, label)]
-            by_level[lev].remove(tail)
-        except KeyError:
+        by_level = self._buckets.get((tr, label))
+        bucket = by_level.get(lev) if by_level else None
+        if bucket is None or not bucket.delete(tail):
             raise AssertionError(
                 f"in-edge from {tail} not filed at {(tr, label, lev)}"
-            ) from None
-        if not by_level[lev]:
+            )
+        if not bucket:
             del by_level[lev]
         if not by_level:
             del self._buckets[(tr, label)]
@@ -62,14 +73,18 @@ class InIndex:
         self.add(tail, *new)
 
     def any_at(self, tr: int, label: int, lev: int) -> Optional[int]:
-        """Any tail filed at exactly (tr, label, lev), else None."""
+        """The minimum tail filed at exactly (tr, label, lev), else None.
+
+        Canonical (content-determined) so replicas shipped across process
+        boundaries take the same game trajectory -- see the module docstring.
+        """
         by_level = self._buckets.get((tr, label))
         if not by_level:
             return None
         bucket = by_level.get(lev)
         if not bucket:
             return None
-        return next(iter(bucket))
+        return bucket.min()
 
     def any_truncated(self, tr: int, lev: int) -> Optional[int]:
         """Any tail with truncated rank ``tr`` at level ``lev``, any label.

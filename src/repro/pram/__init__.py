@@ -1,7 +1,7 @@
 """Simulated-PRAM primitives, sorting, and execution backends."""
 
 from .connectivity import connected_components
-from .executor import ProcessExecutor, SerialExecutor
+from .executor import ProcessExecutor, RungTask, SerialExecutor, WorkerDelta
 from .primitives import (
     arbitrary_winners,
     pack,
@@ -15,7 +15,9 @@ from .sorting import parallel_sort
 
 __all__ = [
     "ProcessExecutor",
+    "RungTask",
     "SerialExecutor",
+    "WorkerDelta",
     "arbitrary_winners",
     "connected_components",
     "pack",

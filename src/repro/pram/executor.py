@@ -9,20 +9,210 @@ paper flags the GIL as the reproduction gate — fine-grained PRAM steps are
 offers honest process-level parallelism for the ladder sweep when more
 than one core exists.
 
-``SerialExecutor`` is the default everywhere; tests exercise
-``ProcessExecutor`` on picklable workloads.
+Two surfaces:
+
+* :meth:`SerialExecutor.map` / :meth:`ProcessExecutor.map` — the original
+  stateless fan-out over picklable items (kept for ad-hoc sweeps).
+* :meth:`SerialExecutor.run_structures` / :meth:`ProcessExecutor.
+  run_structures` — the ladder protocol.  The coordinator hands over a
+  list of :class:`RungTask` (structure + method + args); the serial
+  backend runs them as branches of one :meth:`CostModel.parallel` region
+  (bit-for-bit the historical inline loop), while the process backend
+  ships each structure to a worker, runs it there against a **fresh**
+  cost model and (if the coordinator is armed) a fresh tracer, and ships
+  a :class:`WorkerDelta` back.  The coordinator replays each delta inside
+  a parallel branch — ``charge(work, depth)`` + counter increments + span
+  tree graft + event re-emission — so armed telemetry and the cost model
+  are bit-identical to the serial backend (``repro profile --check``
+  enforces this end to end; docs/PERFORMANCE.md spells out the contract).
+
+Structures cross the process boundary via pickle with the cost model
+*factored out*: every :class:`CostModel` reference is replaced by a
+persistent id at dump time and re-bound at load time (worker: a fresh
+model; coordinator, on the way back: the shared model).  No frame stacks
+or counters ever travel, and the round trip re-binds arbitrarily nested
+``cm`` references (treaps, buckets, duplicated inners) without any
+attribute walking.
 """
 
 from __future__ import annotations
 
+import io
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from ..instrument import trace as _trace
+from ..instrument.telemetry import SpanNode, Tracer, merge_span_children
+from ..instrument.work_depth import CostModel
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+# -- the delta protocol -------------------------------------------------------
+
+#: persistent-id tag under which every CostModel reference is factored out
+#: of a structure pickle (see module docstring).
+_CM_PID = "repro.cm"
+
+
+@dataclass
+class RungTask:
+    """One independent unit of a ladder sweep.
+
+    ``structure`` must be picklable once its cost model is factored out
+    (all core structures are).  ``span``/``attrs`` describe the telemetry
+    span the coordinator opens around the unit (``ladder.rung`` with its
+    height, for ladders; ``None`` for the density guard's bucket sweep,
+    which historically ran un-spanned).  ``finish`` runs coordinator-side
+    *inside* the accounting branch after the structure's method (the
+    density guard absorbs reversal journals there); ``install`` runs
+    outside the branch and receives the post-run structure so the caller
+    can splice the worker's copy back in (process backend only — the
+    serial backend mutates in place and passes the original).
+    """
+
+    structure: Any
+    method: str
+    args: tuple = ()
+    span: Optional[str] = None
+    attrs: dict = field(default_factory=dict)
+    finish: Optional[Callable[[Any], None]] = None
+    install: Optional[Callable[[Any], None]] = None
+
+
+@dataclass
+class WorkerDelta:
+    """Everything a worker's run must contribute back to the coordinator.
+
+    ``work``/``depth`` are the worker cost model's totals for the unit
+    (replayed as one ``charge`` inside the coordinator's branch: works
+    sum, depths max — exactly what the inline branch produced).
+    ``counters`` are summed into the coordinator model.  ``tree`` is the
+    worker tracer's root (its children graft under the coordinator's
+    enclosing span) and ``events`` are the worker's sink events, re-emitted
+    with the coordinator's path prefix and sequence numbers.
+    """
+
+    work: int
+    depth: int
+    counters: dict[str, int] = field(default_factory=dict)
+    tree: Optional[SpanNode] = None
+    events: list[dict] = field(default_factory=list)
+    frame_mismatches: int = 0
+
+
+class _StatePickler(pickle.Pickler):
+    """Pickler that factors every CostModel out as a persistent id."""
+
+    def persistent_id(self, obj: Any) -> Optional[str]:
+        if isinstance(obj, CostModel):
+            return _CM_PID
+        return None
+
+
+class _StateUnpickler(pickle.Unpickler):
+    """Unpickler re-binding the factored-out cost model references."""
+
+    def __init__(self, file: io.BytesIO, cm: CostModel) -> None:
+        super().__init__(file)
+        self._cm = cm
+
+    def persistent_load(self, pid: str) -> Any:
+        if pid == _CM_PID:
+            return self._cm
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def dump_structure(structure: Any) -> bytes:
+    """Serialise a structure with its cost model factored out."""
+    buf = io.BytesIO()
+    _StatePickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(structure)
+    return buf.getvalue()
+
+
+def load_structure(blob: bytes, cm: CostModel) -> Any:
+    """Deserialise a structure, binding every ``cm`` reference to ``cm``."""
+    return _StateUnpickler(io.BytesIO(blob), cm).load()
+
+
+def run_task_worker(payload: tuple[bytes, str, tuple, bool]) -> tuple[bytes, WorkerDelta]:
+    """Run one :class:`RungTask` in this process against fresh accounting.
+
+    The module-level entry point a :class:`ProcessPoolExecutor` can pickle.
+    ``payload`` is ``(blob, method, args, armed)``; the structure is
+    rebuilt around a fresh :class:`CostModel`, the method runs (under a
+    fresh non-strict tracer when the coordinator was armed), and the
+    mutated structure plus its :class:`WorkerDelta` travel back.
+    """
+    blob, method, args, armed = payload
+    cm = CostModel()
+    structure = load_structure(blob, cm)
+    events: list[dict] = []
+    tree: Optional[SpanNode] = None
+    mismatches = 0
+    if armed:
+        tracer = Tracer(cm, strict=False, sinks=[events.append])
+        with _trace.tracing(tracer):
+            getattr(structure, method)(*args)
+        tree = tracer.root
+        mismatches = tracer.frame_mismatches
+    else:
+        getattr(structure, method)(*args)
+    delta = WorkerDelta(
+        work=cm.work,
+        depth=cm.depth,
+        counters=dict(cm.counters),
+        tree=tree,
+        events=events,
+        frame_mismatches=mismatches,
+    )
+    return dump_structure(structure), delta
+
+
+def merge_delta(cm: CostModel, delta: WorkerDelta) -> None:
+    """Replay a worker's delta into the coordinator's innermost frame.
+
+    Must be called inside the parallel branch standing in for the worker
+    (and inside the task's span, if any): the single ``charge`` then sums
+    into the region's work and maxes into its depth exactly as the inline
+    execution would have, the counters sum globally, and the armed tracer
+    (if any) absorbs the worker's span tree and events at the current
+    stack position.
+    """
+    cm.charge(work=delta.work, depth=delta.depth)
+    for name in sorted(delta.counters):
+        cm.count(name, delta.counters[name])
+    tracer = _trace.ACTIVE
+    if tracer is None:
+        return
+    if delta.tree is not None:
+        merge_span_children(tracer._stack[-1], delta.tree)
+        tracer.frame_mismatches += delta.frame_mismatches
+    if delta.events:
+        prefix = [node.label for node in tracer._stack[1:]]
+        for ev in delta.events:
+            merged = dict(ev)
+            merged["path"] = prefix + list(ev.get("path", []))
+            tracer._emit(merged)
+
+
+def _run_task_inline(task: RungTask) -> None:
+    """Execute one task in the coordinator process (the serial branch body)."""
+    if task.span is not None:
+        with _trace.span(task.span, **task.attrs):
+            getattr(task.structure, task.method)(*task.args)
+            if task.finish is not None:
+                task.finish(task.structure)
+    else:
+        getattr(task.structure, task.method)(*task.args)
+        if task.finish is not None:
+            task.finish(task.structure)
+
+
+# -- backends -----------------------------------------------------------------
 
 
 class SerialExecutor:
@@ -32,26 +222,107 @@ class SerialExecutor:
         with _trace.span("pram.map", detail={"items": len(items)}, backend="serial"):
             return [fn(item) for item in items]
 
+    def run_structures(self, cm: CostModel, tasks: Sequence[RungTask]) -> None:
+        """Run every task as one branch of a single parallel region.
+
+        Semantically identical (work, depth, counters, span tree) to the
+        historical inline ladder loop — this *is* that loop, routed.
+        """
+        tasks = list(tasks)
+        with _trace.span("pram.map", detail={"items": len(tasks)}, backend="serial"):
+            with cm.parallel() as region:
+                for task in tasks:
+                    with region.branch():
+                        _run_task_inline(task)
+                    if task.install is not None:
+                        task.install(task.structure)
+
+    def close(self) -> None:
+        """No pooled resources to release (symmetry with ProcessExecutor)."""
+
 
 class ProcessExecutor:
     """Run the sweep in a process pool (coarse-grained real parallelism).
 
     ``fn`` and every item must be picklable.  Worker count defaults to the
-    machine's CPU count; on this reproduction box that is 1, so the benefit
-    only materialises on larger hosts — which is exactly why all reported
-    speedups are Brent projections (DESIGN.md §2 item 1).
+    machine's CPU count; on a 1-core reproduction box the benefit only
+    materialises as a Brent projection (DESIGN.md §2 item 1) — E22 reports
+    both the wall clock and the projection.
 
-    The ``pram.map`` span measures the sweep from the coordinator's side;
-    worker processes have their own (unarmed) telemetry globals, so only
-    wall-clock — not per-item cost-model deltas — is attributed here.
+    ``run_structures`` ships each task's structure to a worker and merges
+    the returned :class:`WorkerDelta` in a coordinator-side parallel
+    branch, so the cost model and armed telemetry are bit-identical to
+    :class:`SerialExecutor` (the delta-merge contract; see
+    docs/PERFORMANCE.md).  The pool is created lazily and reused across
+    batches; call :meth:`close` (or use the instance as a context manager)
+    to release it.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
         self.max_workers = max_workers or os.cpu_count() or 1
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # pool handles cannot travel; a pickled executor rebuilds lazily.
+    def __reduce__(self):
+        return (ProcessExecutor, (self.max_workers,))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the lazy worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def map(self, fn: Callable[[T], U], items: Sequence[T]) -> list[U]:
         with _trace.span("pram.map", detail={"items": len(items)}, backend="process"):
             if self.max_workers <= 1 or len(items) <= 1:
                 return [fn(item) for item in items]
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                return list(pool.map(fn, items))
+            return list(self._ensure_pool().map(fn, items))
+
+    def run_structures(self, cm: CostModel, tasks: Sequence[RungTask]) -> None:
+        """Fan the tasks out to workers; merge the deltas deterministically.
+
+        Workers mutate *copies*; nothing is spliced back until every task
+        has returned, so an exception mid-sweep leaves the coordinator's
+        structures untouched (stronger than the inline loop, which a
+        guarded() envelope already protects).  Merge order is task order —
+        the same order the serial backend executes in — so counters, span
+        aggregation and event sequence numbers line up exactly.
+        """
+        tasks = list(tasks)
+        armed = _trace.ACTIVE is not None
+        with _trace.span("pram.map", detail={"items": len(tasks)}, backend="process"):
+            payloads = [
+                (dump_structure(t.structure), t.method, t.args, armed) for t in tasks
+            ]
+            if self.max_workers <= 1 or len(tasks) <= 1:
+                # in-process fallback: keep the copy/round-trip semantics of
+                # the pool path so behaviour does not depend on sizing.
+                results = [run_task_worker(p) for p in payloads]
+            else:
+                results = list(self._ensure_pool().map(run_task_worker, payloads))
+            with cm.parallel() as region:
+                for task, (blob, delta) in zip(tasks, results):
+                    replacement = load_structure(blob, cm)
+                    with region.branch():
+                        if task.span is not None:
+                            with _trace.span(task.span, **task.attrs):
+                                merge_delta(cm, delta)
+                                if task.finish is not None:
+                                    task.finish(replacement)
+                        else:
+                            merge_delta(cm, delta)
+                            if task.finish is not None:
+                                task.finish(replacement)
+                    if task.install is not None:
+                        task.install(replacement)

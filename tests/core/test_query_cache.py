@@ -1,0 +1,133 @@
+"""Regression tests for the ladder query caches (docs/PERFORMANCE.md).
+
+Queries used to linear-scan every rung on every call.  Now they binary
+search the saturation-monotone ladder and memoise per vertex, invalidated
+only for vertices a batch could actually have changed.  These tests count
+*rung-level* probes (``FixedHCorenessEstimator.estimate`` /
+``FixedHDensityGuard.guarantees_low`` calls) to pin that behaviour down.
+"""
+
+import math
+import random
+
+from repro.config import Constants
+from repro.core.coreness import CorenessDecomposition
+from repro.core.density import DensityEstimator
+from repro.instrument.work_depth import CostModel
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def _wrap_rung_estimates(ladder) -> list[tuple[int, int]]:
+    """Record every rung-level ``estimate`` probe as ``(rung, vertex)``."""
+    calls: list[tuple[int, int]] = []
+    for i, rung in enumerate(ladder.rungs):
+        def wrapped(v, _orig=rung.estimate, _i=i):
+            calls.append((_i, v))
+            return _orig(v)
+
+        rung.estimate = wrapped
+    return calls
+
+
+def _wrap_rung_verdicts(ladder) -> list[int]:
+    """Record every rung-level ``guarantees_low`` probe."""
+    calls: list[int] = []
+    for i, rung in enumerate(ladder.rungs):
+        def wrapped(_orig=rung.guarantees_low, _i=i):
+            calls.append(_i)
+            return _orig()
+
+        rung.guarantees_low = wrapped
+    return calls
+
+
+def _core(n=24, edges=()):
+    core = CorenessDecomposition(n, eps=0.35, cm=CostModel(), constants=SMALL)
+    if edges:
+        core.insert_batch(edges)
+    return core
+
+
+CYCLE = [(i, (i + 1) % 10) for i in range(10)]
+STAR = [(0, i) for i in range(2, 9)]
+
+
+class TestCorenessMemo:
+    def test_second_query_makes_no_rung_probes(self):
+        core = _core(edges=CYCLE + STAR)
+        calls = _wrap_rung_estimates(core)
+        first = core.estimates()
+        assert calls, "a cold query must probe the rungs"
+        calls.clear()
+        assert core.estimates() == first
+        assert core.max_estimate() == max(first.values())
+        assert calls == [], "a warm query must be answered from the memo"
+
+    def test_binary_search_probe_bound(self):
+        core = _core(edges=CYCLE + STAR)
+        calls = _wrap_rung_estimates(core)
+        core.estimate(0)
+        # one probe at the top rung + O(log #rungs) bisection probes,
+        # instead of the historical O(#rungs) linear scan.
+        bound = math.ceil(math.log2(len(core.rungs))) + 1
+        assert 0 < len(calls) <= bound
+        assert len(core.rungs) > bound  # the bound is actually an improvement
+
+    def test_binary_search_matches_linear_scan(self):
+        rng = random.Random(3)
+        edges = {(min(u, v), max(u, v)) for u, v in
+                 (rng.sample(range(20), 2) for _ in range(60))}
+        core = _core(n=20, edges=sorted(edges))
+        for v in range(20):
+            linear = next(
+                (
+                    float(core.heights[i])
+                    for i in range(len(core.rungs))
+                    if core.rungs[i].estimate(v) < core.heights[i]
+                ),
+                float(core.heights[-1]),
+            )
+            assert core.estimate(v) == linear
+
+    def test_invalidation_touches_only_dirty_vertices(self):
+        # two far-apart components: a batch in one must not evict the other
+        left = [(i, (i + 1) % 6) for i in range(6)]
+        right = [(10 + i, 10 + (i + 1) % 6) for i in range(6)]
+        core = _core(edges=left + right)
+        warm = core.estimates()
+        assert set(core._est_cache) == set(warm)
+        core.insert_batch([(10, 13), (11, 14)])
+        for v in range(6):
+            assert v in core._est_cache, "left component must stay memoised"
+        assert 10 not in core._est_cache and 13 not in core._est_cache
+        # the surviving entries are still correct
+        replica = _core(edges=left + right)
+        replica.insert_batch([(10, 13), (11, 14)])
+        assert core.estimates() == replica.estimates()
+
+    def test_cache_survives_deletes_correctly(self):
+        core = _core(edges=CYCLE + STAR)
+        core.estimates()
+        core.delete_batch(STAR[:4])
+        replica = _core(edges=CYCLE + STAR)
+        replica.delete_batch(STAR[:4])
+        assert core.estimates() == replica.estimates()
+        assert core.max_estimate() == replica.max_estimate()
+
+
+class TestDensityMemo:
+    def test_first_low_index_is_memoised(self):
+        dens = DensityEstimator(24, eps=0.35, cm=CostModel(), constants=SMALL)
+        dens.insert_batch(CYCLE + STAR)
+        calls = _wrap_rung_verdicts(dens)
+        rho = dens.density_estimate()
+        assert calls, "a cold query must probe the rungs"
+        assert len(calls) <= math.ceil(math.log2(len(dens.rungs))) + 1
+        calls.clear()
+        assert dens.density_estimate() == rho
+        dens.max_outdegree()
+        assert calls == [], "warm density queries reuse the first-'low' index"
+        dens.insert_batch([(1, 7)])
+        dens.density_estimate()
+        assert calls, "an update must re-open the verdict search"

@@ -1,0 +1,152 @@
+"""Property tests for rung-skip filtering (docs/PERFORMANCE.md).
+
+Filtering defers updates on rungs whose hint sits provably above what the
+graph can saturate.  It is an *optimisation*, not an approximation: every
+observable query answer must be identical with filtering on and off, for
+any mixed insert/delete schedule — including across a snapshot/rollback
+cycle, which restores the deferred queues and the degree certificate.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Constants
+from repro.core.coreness import CorenessDecomposition
+from repro.core.density import DensityEstimator
+from repro.instrument.work_depth import CostModel
+from repro.resilience.guard import capture, rollback
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def _schedule(n: int, steps: int, seed: int) -> list[tuple[str, list]]:
+    """Deterministic mixed batches with a valid live edge-set model."""
+    rng = random.Random(seed)
+    live: set[tuple[int, int]] = set()
+    out: list[tuple[str, list]] = []
+    for _ in range(steps):
+        if live and rng.random() < 0.35:
+            k = rng.randint(1, min(5, len(live)))
+            dele = rng.sample(sorted(live), k)
+            live.difference_update(dele)
+            out.append(("delete_batch", dele))
+        else:
+            fresh = []
+            for _ in range(rng.randint(1, 7)):
+                u, v = rng.sample(range(n), 2)
+                e = (min(u, v), max(u, v))
+                if e not in live and e not in fresh:
+                    fresh.append(e)
+            if fresh:
+                live.update(fresh)
+                out.append(("insert_batch", fresh))
+    return out
+
+
+def _build(kind, n, rung_skip):
+    cm = CostModel()
+    return kind(n, eps=0.35, cm=cm, constants=SMALL, rung_skip=rung_skip)
+
+
+def _touched(batches) -> list[int]:
+    return sorted({v for _, edges in batches for e in edges for v in e})
+
+
+def _core_view(core, vertices):
+    return ({v: core.estimate(v) for v in vertices}, core.max_estimate())
+
+
+def _dens_view(dens):
+    return (dens.density_estimate(), dens.max_outdegree())
+
+
+class TestEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_coreness_filtering_is_invisible(self, seed):
+        batches = _schedule(16, 8, seed)
+        plain = _build(CorenessDecomposition, 16, rung_skip=False)
+        skip = _build(CorenessDecomposition, 16, rung_skip=True)
+        for method, edges in batches:
+            getattr(plain, method)(edges)
+            getattr(skip, method)(edges)
+        vs = _touched(batches)
+        assert _core_view(plain, vs) == _core_view(skip, vs)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_density_filtering_is_invisible(self, seed):
+        batches = _schedule(16, 8, seed)
+        plain = _build(DensityEstimator, 16, rung_skip=False)
+        skip = _build(DensityEstimator, 16, rung_skip=True)
+        for method, edges in batches:
+            getattr(plain, method)(edges)
+            getattr(skip, method)(edges)
+        assert _dens_view(plain) == _dens_view(skip)
+        # the exported orientation is the same rung's, arc for arc
+        for v in _touched(batches):
+            assert sorted(plain.orientation_out(v)) == sorted(skip.orientation_out(v))
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_rollback_restores_deferred_state(self, seed):
+        """Snapshot mid-schedule, keep mutating, roll back, replay the tail:
+        the filtered ladder must land exactly where the unfiltered one does."""
+        batches = _schedule(14, 8, seed)
+        cut = len(batches) // 2
+        plain = _build(CorenessDecomposition, 14, rung_skip=False)
+        skip = _build(CorenessDecomposition, 14, rung_skip=True)
+        for method, edges in batches[:cut]:
+            getattr(plain, method)(edges)
+            getattr(skip, method)(edges)
+        snap = capture(skip)
+        # a detour that the rollback must fully erase (including its effect
+        # on the deferred queues, degree certificate, and query memos);
+        # detour edges are picked absent from the live set at the cut
+        live: set[tuple[int, int]] = set()
+        for method, edges in batches[:cut]:
+            (live.update if method == "insert_batch" else live.difference_update)(
+                edges
+            )
+        detour = [
+            e
+            for e in [(0, 1), (1, 2), (2, 3), (0, 13), (3, 13), (4, 12)]
+            if e not in live
+        ][:4]
+        skip.insert_batch(detour)
+        skip.estimates()
+        rollback(skip, snap)
+        for method, edges in batches[cut:]:
+            getattr(plain, method)(edges)
+            getattr(skip, method)(edges)
+        vs = _touched(batches)
+        assert _core_view(plain, vs) == _core_view(skip, vs)
+
+
+class TestSkipAccounting:
+    def test_skipped_rungs_are_counted(self):
+        skip = _build(CorenessDecomposition, 24, rung_skip=True)
+        skip.insert_batch([(0, 1), (1, 2)])
+        assert skip.cm.counters.get("ladder_rungs_skipped", 0) > 0
+
+    def test_filtering_reduces_work_on_sparse_batches(self):
+        batches = _schedule(24, 10, seed=42)
+        plain = _build(CorenessDecomposition, 24, rung_skip=False)
+        skip = _build(CorenessDecomposition, 24, rung_skip=True)
+        for method, edges in batches:
+            getattr(plain, method)(edges)
+            getattr(skip, method)(edges)
+        assert skip.cm.work < plain.cm.work
+
+    def test_flush_all_pending_materialises_every_rung(self):
+        skip = _build(DensityEstimator, 24, rung_skip=True)
+        skip.insert_batch([(0, 1), (1, 2), (2, 0)])
+        assert not all(skip._live)
+        skip.flush_all_pending()
+        assert all(skip._live)
+        assert all(not q for q in skip._pending)
+        plain = _build(DensityEstimator, 24, rung_skip=False)
+        plain.insert_batch([(0, 1), (1, 2), (2, 0)])
+        assert _dens_view(skip) == _dens_view(plain)
