@@ -80,6 +80,13 @@ class MaximalMatching:
                 freed.add(u)
                 freed.add(v)
         self._apply_orientation_changes(self.lod.d_del)
+        # purge deleted edges from D_incoming directly: the change table
+        # covers edges the substrate re-oriented, but the index must drop
+        # a deleted edge even if no change record mentions it
+        for u, v in batch:
+            self.d_incoming.get(u, set()).discard(v)
+            self.d_incoming.get(v, set()).discard(u)
+            self.cm.charge(work=1, depth=1)
         # freed vertices become visible as unmatched in-neighbours again
         for v in freed:
             self._broadcast_status(v)
@@ -118,13 +125,21 @@ class MaximalMatching:
     # -- re-matching rounds --------------------------------------------------------
 
     def _candidates(self, v: int) -> list[int]:
+        d_out = self.lod.d_out(v)
         out = [
             w
-            for w in self.lod.d_out(v)
+            for w in d_out
             if w not in self.mate and norm_edge(v, w) in self.edges
         ]
-        inc = [u for u in self.d_incoming.get(v, ()) if u not in self.mate]
-        self.cm.charge(work=len(self.lod.d_out(v)) + len(inc) + 1, depth=1)
+        # D_incoming is an index, not ground truth: an entry can outlive
+        # its edge (an exception or injected fault between the substrate
+        # update and the re-index).  Never propose over a dead edge.
+        inc = [
+            u
+            for u in self.d_incoming.get(v, ())
+            if u not in self.mate and norm_edge(u, v) in self.edges
+        ]
+        self.cm.charge(work=len(d_out) + len(inc) + 1, depth=1)
         return sorted(set(out) | set(inc))
 
     def _rematch(self, dirty: set[int]) -> None:

@@ -8,6 +8,9 @@ Core subcommands::
     repro profile  --trace trace.txt --bench-out . --name smoke --check
     repro exact    --trace trace.txt
     repro chaos    --structure all --trials 10 --faults 2 --seed 0
+    repro verify   --trace trace.txt --deep-every 8
+    repro verify   diff --batches 200 --deep-every 25
+    repro verify   --replay repro.json
 
 ``generate`` writes a batch-update trace (see repro.graphs.tracefile);
 ``run`` replays it through the batch-dynamic structures and reports the
@@ -17,7 +20,11 @@ replays with phase-scoped telemetry armed and prints the phase tree
 (docs/OBSERVABILITY.md), optionally writing ``BENCH_<name>.json``;
 ``exact`` replays it into a plain graph and reports the exact measures
 for comparison; ``chaos`` soaks the structures under seeded fault
-injection (docs/ROBUSTNESS.md) and reports which recovery tiers fired.
+injection (docs/ROBUSTNESS.md) and reports which recovery tiers fired;
+``verify`` audits a replay against the exact oracles, ``verify diff``
+replays one stream through every execution configuration and diffs
+per-batch outputs, and ``verify --replay`` re-runs a minimized repro
+artifact (docs/VERIFICATION.md).
 """
 
 from __future__ import annotations
@@ -334,6 +341,8 @@ def cmd_chaos(args) -> int:
             faults_per_trial=args.faults,
             constants=CONSTANTS,
             deep_audit=not args.no_deep_audit,
+            minimize=args.minimize or bool(args.artifact_dir),
+            artifact_dir=args.artifact_dir,
         )
         reports.append(report)
         print(report.render())
@@ -355,16 +364,124 @@ def cmd_lint(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    """Replay a trace auditing structure invariants after every batch."""
-    from .core.verify import replay_audit
+    """Replay a trace auditing structure invariants after every batch.
 
+    ``--replay ARTIFACT`` instead re-runs a minimized repro artifact
+    (written by ``verify diff --artifact-out`` or the chaos harness) and
+    exits 0 iff the recorded failure still reproduces.
+    """
+    from .verify import replay_artifact
+    from .verify.audits import replay_audit
+
+    if args.replay:
+        reproduced, text = replay_artifact(args.replay)
+        print(text)
+        if reproduced:
+            print("repro artifact REPRODUCED the recorded failure")
+            return 0
+        print("repro artifact did NOT reproduce — the failure moved or is fixed")
+        return 1
+    if not args.trace:
+        raise SystemExit("verify: --trace is required (or use --replay ARTIFACT)")
     ops = read_trace(args.trace)
     validate_trace(ops)
     report = replay_audit(
-        ops, H=args.height, constants=CONSTANTS, deep_every=args.deep_every
+        ops,
+        H=args.height,
+        constants=CONSTANTS,
+        deep_every=args.deep_every,
+        exec_config=_exec_config(args),
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_verify_diff(args) -> int:
+    """Differential replay: one stream, every execution config, zero drift."""
+    from .verify import (
+        RunnerConfig,
+        configs_by_name,
+        default_configs,
+        minimize_diff,
+        run_diff,
+        write_artifact,
+    )
+
+    if args.trace:
+        ops = read_trace(args.trace)
+    else:
+        ops = streams.churn(
+            args.n, steps=args.batches, batch_size=args.batch_size, seed=args.seed
+        )
+    n = max(validate_trace(ops), 2)
+    if args.configs:
+        panel = configs_by_name(
+            [s.strip() for s in args.configs.split(",") if s.strip()]
+        )
+    else:
+        panel = default_configs()
+    if args.inject:
+        site, _, rest = args.inject.partition(":")
+        hit_s, _, action = rest.partition(":")
+        panel = panel + [
+            RunnerConfig(
+                "injected",
+                faults=((site, int(hit_s) if hit_s else 1, action or "raise"),),
+                cost_class=None,
+            )
+        ]
+    report = run_diff(
+        ops,
+        configs=panel,
+        eps=args.eps,
+        constants=CONSTANTS,
+        seed=args.seed,
+        n=n,
+        deep_every=args.deep_every,
+    )
+    print(report.render())
+    if report.ok:
+        return 0
+    if args.minimize or args.artifact_out:
+        minimal, probe = minimize_diff(
+            ops,
+            report,
+            configs=panel,
+            eps=args.eps,
+            constants=CONSTANTS,
+            seed=args.seed,
+            n=n,
+            deep_every=args.deep_every,
+        )
+        print(
+            f"\nminimized repro: {len(minimal)} batch(es), "
+            f"{sum(op.size for op in minimal)} edge update(s)"
+        )
+        for op in minimal:
+            print(f"  {op.kind} {list(op.edges)}")
+        if args.artifact_out:
+            path = write_artifact(
+                args.artifact_out,
+                kind="diff",
+                ops=minimal,
+                params={
+                    "eps": args.eps,
+                    "seed": args.seed,
+                    "n": n,
+                    "deep_every": args.deep_every,
+                },
+                configs=probe,
+                constants=CONSTANTS,
+                expected={
+                    "divergences": [
+                        f"batch {d.batch} [{d.config}] {d.observable}"
+                        for d in report.divergences
+                    ],
+                    "oracle_findings": len(report.oracle_findings),
+                },
+            )
+            print(f"wrote repro artifact to {path}")
+    return 1
 
 
 def _add_exec_args(sub: argparse.ArgumentParser) -> None:
@@ -435,11 +552,42 @@ def build_parser() -> argparse.ArgumentParser:
     v = sub.add_parser(
         "verify", help="replay a trace auditing structure invariants per batch"
     )
-    v.add_argument("--trace", required=True)
+    v.add_argument("--trace", help="trace file to audit")
     v.add_argument("--height", type=int, default=5)
     v.add_argument("--deep-every", type=int, default=0,
                    help="also audit estimate bands every N batches (slow)")
+    v.add_argument("--replay", metavar="ARTIFACT",
+                   help="re-run a minimized repro artifact; exit 0 iff it "
+                        "still reproduces the recorded failure")
+    _add_exec_args(v)
     v.set_defaults(func=cmd_verify)
+    v_sub = v.add_subparsers(dest="verify_cmd")
+    d = v_sub.add_parser(
+        "diff",
+        help="replay one stream through every execution config and diff "
+             "per-batch outputs (docs/VERIFICATION.md)",
+    )
+    d.add_argument("--trace", help="trace file (default: generate a churn stream)")
+    d.add_argument("--n", type=int, default=32,
+                   help="vertex count of the generated churn stream")
+    d.add_argument("--batches", type=int, default=200,
+                   help="batch count of the generated churn stream")
+    d.add_argument("--batch-size", type=int, default=6)
+    d.add_argument("--seed", type=int, default=0)
+    d.add_argument("--eps", type=float, default=0.35)
+    d.add_argument("--deep-every", type=int, default=0,
+                   help="audit the baseline vs the exact oracles every N batches")
+    d.add_argument("--configs", metavar="A,B,...",
+                   help="comma-separated panel (default: serial, process-2, "
+                        "telemetry, rung-skip, chaos-recovered)")
+    d.add_argument("--inject", metavar="SITE[:HIT[:ACTION]]",
+                   help="add an un-recovered fault-injected config (the "
+                        "harness must catch and shrink it)")
+    d.add_argument("--minimize", action="store_true",
+                   help="on divergence, ddmin-shrink the stream to a minimal repro")
+    d.add_argument("--artifact-out", metavar="PATH",
+                   help="write the minimized repro as a replayable artifact")
+    d.set_defaults(func=cmd_verify_diff)
 
     c = sub.add_parser(
         "chaos", help="soak the structures under seeded fault injection"
@@ -458,6 +606,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="planned fault injections per trial")
     c.add_argument("--no-deep-audit", action="store_true",
                    help="skip the exact-oracle band audits")
+    c.add_argument("--minimize", action="store_true",
+                   help="ddmin-shrink every failing trial's stream")
+    c.add_argument("--artifact-dir", metavar="DIR",
+                   help="write minimized repro artifacts under DIR "
+                        "(implies --minimize)")
     c.set_defaults(func=cmd_chaos)
 
     lint = sub.add_parser(

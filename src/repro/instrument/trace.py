@@ -50,6 +50,10 @@ SPAN_TAXONOMY: dict[str, str] = {
     "game.push.settle": "delete settlement (absorbed tokens decrement)",
     "pram.map": "executor sweep over independent structures (attr: backend)",
     "recovery.apply": "RecoveryManager.apply of one batch",
+    "verify.diff": "one differential replay across the config panel",
+    "verify.config": "one config's share of a differential batch (attr: config)",
+    "verify.audit": "deep exact-oracle audit of coreness/density bands",
+    "verify.minimize": "ddmin shrinking of a failing stream",
 }
 
 

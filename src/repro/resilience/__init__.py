@@ -36,6 +36,8 @@ _LAZY = {
     "RecoveryManager": ".recovery",
     "ChaosReport": ".chaos",
     "chaos_soak": ".chaos",
+    "run_trial": ".chaos",
+    "minimize_trial": ".chaos",
 }
 
 __all__ = [

@@ -18,10 +18,17 @@ The soak aggregates the per-trial
 :class:`ChaosReport`; ``report.ok`` means every injected fault was
 recovered and every audit came back green.  Everything is seeded — a
 failing ``(structure, seed, trial)`` triple replays exactly.
+
+The trial body is factored out as :func:`run_trial` so the verify
+subsystem can re-run it verbatim: ``chaos_soak(minimize=True)`` shrinks
+every failing trial's stream with the ddmin minimizer
+(:mod:`repro.verify.minimize`) and, given ``artifact_dir``, writes a
+replayable repro artifact per failure (``repro verify --replay``).
 """
 
 from __future__ import annotations
 
+import pathlib
 import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
@@ -30,12 +37,12 @@ from ..config import DEFAULT_CONSTANTS, Constants
 from ..core.balanced import BalancedOrientation
 from ..core.coreness import CorenessDecomposition
 from ..core.density import DensityEstimator
-from ..core.verify import audit_coreness, audit_density, replay_audit
 from ..errors import ParameterError, RecoveryError
 from ..graphs.graph import norm_edge
 from ..graphs.streams import BatchOp, churn, insert_then_delete, sliding_window
 from ..instrument.metrics import RecoveryStats, render_table
-from .faults import SITES, FaultInjector, injecting
+from ..verify.audits import audit_coreness, audit_density, replay_audit
+from .faults import SITES, FaultInjector, FaultSpec, injecting
 from .recovery import RecoveryManager
 
 STRUCTURES = ("balanced", "coreness", "density")
@@ -53,6 +60,7 @@ class ChaosReport:
     faults_fired: int = 0
     stats: RecoveryStats = field(default_factory=RecoveryStats)
     findings: list[str] = field(default_factory=list)
+    repros: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -69,6 +77,9 @@ class ChaosReport:
         if self.findings:
             lines.append("findings:")
             lines.extend(f"  - {finding}" for finding in self.findings)
+        if self.repros:
+            lines.append("minimized repros:")
+            lines.extend(f"  - {path}" for path in self.repros)
         return "\n".join(lines)
 
 
@@ -109,6 +120,87 @@ def _make_structure(
     )
 
 
+def run_trial(
+    structure: str,
+    ops: Sequence[BatchOp],
+    injector: FaultInjector,
+    *,
+    n: int,
+    H: int = 4,
+    eps: float = 0.35,
+    checkpoint_every: int = 5,
+    audit_every: int = 1,
+    constants: Constants = DEFAULT_CONSTANTS,
+    seed: int = 0,
+    deep_audit: bool = True,
+    tag: str = "trial",
+) -> tuple[list[str], RecoveryManager]:
+    """One chaos trial, start to verdict: build, inject, recover, audit.
+
+    Returns the findings (empty means the trial is green) and the
+    :class:`RecoveryManager` for its stats/history.  Deterministic given
+    ``(structure, ops, injector specs+seed, params)`` — the minimizer and
+    ``repro verify --replay`` both rely on re-running this verbatim.
+    """
+    st = _make_structure(structure, n, H, eps, seed, constants)
+    manager = RecoveryManager(
+        st, checkpoint_every=checkpoint_every, audit_every=audit_every
+    )
+    findings: list[str] = []
+    with injecting(injector):
+        for op in ops:
+            try:
+                manager.apply(op)
+            except RecoveryError as exc:
+                findings.append(f"{tag}: unrecovered batch: {exc}")
+                break
+    findings.extend(_trial_findings(manager, tag, H, deep_audit))
+    return findings, manager
+
+
+def minimize_trial(
+    structure: str,
+    ops: Sequence[BatchOp],
+    fault_specs: Sequence[tuple[str, int, str]],
+    *,
+    injector_seed: int,
+    n: int,
+    H: int = 4,
+    eps: float = 0.35,
+    checkpoint_every: int = 5,
+    audit_every: int = 1,
+    constants: Constants = DEFAULT_CONSTANTS,
+    seed: int = 0,
+    deep_audit: bool = True,
+) -> list[BatchOp]:
+    """ddmin-shrink a failing trial's stream; the fault plan is replayed
+    fresh (same specs, same seed) against every candidate."""
+    from ..verify.minimize import minimize_stream
+
+    def still_fails(candidate: list[BatchOp]) -> bool:
+        probe = FaultInjector(
+            [FaultSpec(site=s, hit=h, action=a) for s, h, a in fault_specs],
+            seed=injector_seed,
+        )
+        findings, _manager = run_trial(
+            structure,
+            candidate,
+            probe,
+            n=n,
+            H=H,
+            eps=eps,
+            checkpoint_every=checkpoint_every,
+            audit_every=audit_every,
+            constants=constants,
+            seed=seed,
+            deep_audit=deep_audit,
+            tag="minimize",
+        )
+        return bool(findings)
+
+    return minimize_stream(ops, still_fails)
+
+
 def chaos_soak(
     structure: str = "balanced",
     *,
@@ -125,6 +217,8 @@ def chaos_soak(
     constants: Constants = DEFAULT_CONSTANTS,
     sites: Optional[Sequence[str]] = None,
     deep_audit: bool = True,
+    minimize: bool = False,
+    artifact_dir: Optional[str | pathlib.Path] = None,
 ) -> ChaosReport:
     """Run ``trials`` seeded fault-injection trials; fully deterministic.
 
@@ -132,6 +226,9 @@ def chaos_soak(
     sliding-window so inserts, deletes and mixed workloads all see
     faults.  ``deep_audit=False`` skips the exact-oracle band audits
     (the per-batch health checks and replay audit still run).
+    ``minimize=True`` shrinks every failing trial's stream to a minimal
+    repro; with ``artifact_dir`` each is written as a replayable artifact
+    and listed in ``report.repros``.
     """
     report = ChaosReport(structure=structure)
     site_pool = tuple(sites) if sites is not None else tuple(sorted(SITES))
@@ -139,55 +236,139 @@ def chaos_soak(
         trial_seed = seed * 7919 + trial
         kind = _STREAM_KINDS[trial % len(_STREAM_KINDS)]
         ops = _make_stream(kind, n, batches, batch_size, trial_seed)
-        st = _make_structure(structure, n, H, eps, trial_seed, constants)
-        manager = RecoveryManager(
-            st,
-            checkpoint_every=checkpoint_every,
-            audit_every=audit_every,
-        )
+        injector_seed = trial_seed ^ 0x5EED
         injector = FaultInjector.plan(
-            seed=trial_seed ^ 0x5EED, count=faults_per_trial, sites=site_pool
+            seed=injector_seed, count=faults_per_trial, sites=site_pool
         )
+        spec_triples = tuple((s.site, s.hit, s.action) for s in injector.pending)
         report.faults_planned += len(injector.pending)
         tag = f"trial {trial} ({kind}, seed {trial_seed})"
-        with injecting(injector):
-            for op in ops:
-                try:
-                    manager.apply(op)
-                except RecoveryError as exc:
-                    report.findings.append(f"{tag}: unrecovered batch: {exc}")
-                    break
+        findings, manager = run_trial(
+            structure,
+            ops,
+            injector,
+            n=n,
+            H=H,
+            eps=eps,
+            checkpoint_every=checkpoint_every,
+            audit_every=audit_every,
+            constants=constants,
+            seed=trial_seed,
+            deep_audit=deep_audit,
+            tag=tag,
+        )
         report.faults_fired += len(injector.fired)
         report.trials += 1
         report.batches += manager.stats.batches
         report.stats.merge(manager.stats)
-        _audit_trial(report, manager, tag, H, deep_audit)
+        report.findings.extend(findings)
+        if findings and minimize:
+            _minimize_and_record(
+                report,
+                structure,
+                ops,
+                spec_triples,
+                trial=trial,
+                injector_seed=injector_seed,
+                n=n,
+                H=H,
+                eps=eps,
+                checkpoint_every=checkpoint_every,
+                audit_every=audit_every,
+                constants=constants,
+                seed=trial_seed,
+                deep_audit=deep_audit,
+                artifact_dir=artifact_dir,
+            )
     return report
 
 
-def _audit_trial(
+def _minimize_and_record(
     report: ChaosReport,
+    structure: str,
+    ops: Sequence[BatchOp],
+    spec_triples: Sequence[tuple[str, int, str]],
+    *,
+    trial: int,
+    injector_seed: int,
+    n: int,
+    H: int,
+    eps: float,
+    checkpoint_every: int,
+    audit_every: int,
+    constants: Constants,
+    seed: int,
+    deep_audit: bool,
+    artifact_dir: Optional[str | pathlib.Path],
+) -> None:
+    minimal = minimize_trial(
+        structure,
+        ops,
+        spec_triples,
+        injector_seed=injector_seed,
+        n=n,
+        H=H,
+        eps=eps,
+        checkpoint_every=checkpoint_every,
+        audit_every=audit_every,
+        constants=constants,
+        seed=seed,
+        deep_audit=deep_audit,
+    )
+    report.findings.append(
+        f"trial {trial}: minimized to {len(minimal)} batch(es), "
+        f"{sum(op.size for op in minimal)} edge(s)"
+    )
+    if artifact_dir is None:
+        return
+    from ..verify.artifact import write_artifact
+
+    path = write_artifact(
+        pathlib.Path(artifact_dir) / f"repro_{structure}_trial{trial}.json",
+        kind="chaos",
+        ops=minimal,
+        params={
+            "n": n,
+            "H": H,
+            "eps": eps,
+            "checkpoint_every": checkpoint_every,
+            "audit_every": audit_every,
+            "seed": seed,
+            "injector_seed": injector_seed,
+            "deep_audit": deep_audit,
+        },
+        structure=structure,
+        faults=spec_triples,
+        constants=constants,
+        expected={"findings": ">= 1"},
+    )
+    report.repros.append(str(path))
+
+
+def _trial_findings(
     manager: RecoveryManager,
     tag: str,
     H: int,
     deep_audit: bool,
-) -> None:
+) -> list[str]:
+    findings: list[str] = []
     final = manager.audit()
     if not final.ok:
-        report.findings.append(f"{tag}: final audit red: {final.render()}")
-        return
+        findings.append(f"{tag}: final audit red: {final.render()}")
+        return findings
     st = manager.structure
     if isinstance(st, BalancedOrientation):
         replay = replay_audit(manager.history, H=H, constants=st.constants)
         if not replay.ok:
-            report.findings.append(f"{tag}: replay audit red: {replay.render()}")
+            findings.append(f"{tag}: replay audit red: {replay.render()}")
     elif deep_audit:
         if isinstance(st, CorenessDecomposition):
             band = audit_coreness(st, manager.graph)
         else:
             band = audit_density(st, manager.graph)
         if not band.ok:
-            report.findings.append(f"{tag}: band audit red: {band.render()}")
+            findings.append(f"{tag}: band audit red: {band.render()}")
+    return findings
 
 
 def render_soak_summary(reports: Sequence[ChaosReport]) -> str:

@@ -39,7 +39,7 @@ import pathlib
 from typing import Any, Optional
 
 from ..core.balanced import BalancedOrientation
-from ..core.verify import AuditReport, audit_orientation
+from ..verify.audits import AuditReport, audit_orientation
 from ..errors import BatchError, RecoveryError
 from ..graphs.graph import DynamicGraph, normalize_batch
 from ..graphs.streams import BatchOp

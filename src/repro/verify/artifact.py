@@ -1,0 +1,180 @@
+"""Replayable repro artifacts — the JSON exchange format of the harness.
+
+A minimized failing stream is only useful if it travels: CI uploads it,
+a developer downloads it, and ``repro verify --replay ARTIFACT`` runs
+*exactly* the failing scenario locally.  This module owns that file
+format:
+
+* ``kind == "diff"`` — a differential-replay failure: the (minimized)
+  stream, the :class:`~repro.verify.differential.RunnerConfig` panel it
+  fails under, and the replay parameters (``n``, ``eps``, constants,
+  ``deep_every``).
+* ``kind == "chaos"`` — a chaos-trial failure: the stream, the managed
+  structure's name and parameters, and the planned fault triples.
+
+``replay_artifact`` re-runs the scenario and reports whether the
+recorded failure **reproduces** — the exit-0 condition of
+``repro verify --replay`` is "yes, it still fails", because a repro
+artifact that no longer fails is itself a finding (the bug moved).
+
+The format is versioned and validated on read; unknown versions and
+malformed payloads raise :class:`~repro.errors.ParameterError` rather
+than half-replaying garbage.  See docs/VERIFICATION.md for the schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Optional, Sequence
+
+from ..config import Constants
+from ..errors import ParameterError
+from ..graphs.streams import BatchOp
+from .differential import DiffReport, RunnerConfig, run_diff
+
+FORMAT = "repro-verify-repro"
+VERSION = 1
+KINDS = ("diff", "chaos")
+
+
+def _encode_stream(ops: Sequence[BatchOp]) -> list:
+    return [[op.kind, [list(e) for e in op.edges]] for op in ops]
+
+
+def _decode_stream(raw: Any) -> list[BatchOp]:
+    if not isinstance(raw, list):
+        raise ParameterError("artifact stream must be a list of [kind, edges]")
+    ops: list[BatchOp] = []
+    for entry in raw:
+        try:
+            kind, edges = entry
+            if kind not in ("insert", "delete"):
+                raise ValueError(kind)
+            ops.append(BatchOp(kind, tuple((int(u), int(v)) for u, v in edges)))
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(f"malformed artifact stream entry {entry!r}") from exc
+    return ops
+
+
+def write_artifact(
+    path: str | pathlib.Path,
+    *,
+    kind: str,
+    ops: Sequence[BatchOp],
+    params: dict,
+    configs: Optional[Sequence[RunnerConfig]] = None,
+    structure: Optional[str] = None,
+    faults: Sequence[tuple[str, int, str]] = (),
+    constants: Optional[Constants] = None,
+    expected: Optional[dict] = None,
+) -> pathlib.Path:
+    """Serialise a minimized repro; returns the path written."""
+    if kind not in KINDS:
+        raise ParameterError(f"unknown artifact kind {kind!r}; known: {KINDS}")
+    payload: dict[str, Any] = {
+        "format": FORMAT,
+        "version": VERSION,
+        "kind": kind,
+        "stream": _encode_stream(ops),
+        "params": dict(params),
+        "expected": dict(expected or {}),
+    }
+    if constants is not None:
+        payload["constants"] = dataclasses.asdict(constants)
+    if kind == "diff":
+        if not configs:
+            raise ParameterError("a diff artifact needs its config panel")
+        payload["configs"] = [c.to_dict() for c in configs]
+    else:
+        if structure is None:
+            raise ParameterError("a chaos artifact needs the structure name")
+        payload["structure"] = structure
+        payload["faults"] = [list(f) for f in faults]
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_artifact(path: str | pathlib.Path) -> dict:
+    """Load and validate an artifact; returns the decoded payload."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ParameterError(f"cannot read artifact {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != FORMAT:
+        raise ParameterError(f"{path} is not a {FORMAT} artifact")
+    if payload.get("version") != VERSION:
+        raise ParameterError(
+            f"{path}: unsupported artifact version {payload.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    if payload.get("kind") not in KINDS:
+        raise ParameterError(f"{path}: unknown artifact kind {payload.get('kind')!r}")
+    payload["stream"] = _decode_stream(payload.get("stream"))
+    return payload
+
+
+def _constants_of(payload: dict) -> Constants:
+    raw = payload.get("constants")
+    if raw is None:
+        return Constants()
+    known = {f.name for f in dataclasses.fields(Constants)}
+    return Constants(**{k: v for k, v in raw.items() if k in known})
+
+
+def replay_artifact(path: str | pathlib.Path) -> tuple[bool, str]:
+    """Re-run a repro artifact; ``(reproduced, rendered report)``.
+
+    ``reproduced`` is True iff the recorded failure still occurs — a
+    divergence for ``kind="diff"``, at least one trial finding for
+    ``kind="chaos"``.
+    """
+    payload = read_artifact(path)
+    ops: list[BatchOp] = payload["stream"]
+    params = payload.get("params", {})
+    constants = _constants_of(payload)
+    if payload["kind"] == "diff":
+        report: DiffReport = run_diff(
+            ops,
+            configs=[RunnerConfig.from_dict(d) for d in payload["configs"]],
+            eps=float(params.get("eps", 0.35)),
+            constants=constants,
+            seed=int(params.get("seed", 0)),
+            n=int(params["n"]) if "n" in params else None,
+            deep_every=int(params.get("deep_every", 0)),
+        )
+        return (not report.ok, report.render())
+    # kind == "chaos": lazy import — chaos pulls in the whole resilience
+    # stack and itself imports this package for artifact writing.
+    from ..resilience.chaos import run_trial
+    from ..resilience.faults import FaultInjector, FaultSpec
+
+    specs = [
+        FaultSpec(site=s, hit=int(h), action=a)
+        for s, h, a in payload.get("faults", [])
+    ]
+    injector = FaultInjector(specs, seed=int(params.get("injector_seed", 0)))
+    findings, _manager = run_trial(
+        payload["structure"],
+        ops,
+        injector,
+        n=int(params.get("n", 24)),
+        H=int(params.get("H", 4)),
+        eps=float(params.get("eps", 0.35)),
+        checkpoint_every=int(params.get("checkpoint_every", 5)),
+        audit_every=int(params.get("audit_every", 1)),
+        constants=constants,
+        seed=int(params.get("seed", 0)),
+        deep_audit=bool(params.get("deep_audit", True)),
+        tag="replay",
+    )
+    lines = [
+        f"chaos replay [{payload['structure']}]: "
+        f"{len(ops)} batches, {len(injector.fired)} fault(s) fired, "
+        f"{'RED (reproduced)' if findings else 'GREEN (did not reproduce)'}"
+    ]
+    lines.extend(f"  - {f}" for f in findings)
+    return (bool(findings), "\n".join(lines))

@@ -1,0 +1,138 @@
+"""Interleaving stress for maximal matching, plus D_incoming regressions.
+
+The property test drives adversarial insert/delete interleavings that
+deliberately target matched edges (the hardest rematch pattern) and runs
+the full ``check_matching()`` oracle after every batch.  The regression
+tests plant stale ``D_incoming`` entries by hand — the index can outlive
+its edge when an exception or injected fault lands between the substrate
+update and the re-index — and assert the proposal path never matches
+over a dead edge or a matched partner.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps import MaximalMatching
+from repro.config import Constants
+from repro.graphs.graph import norm_edge
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+
+def make(rho_max=6, n=20, seed=0):
+    return MaximalMatching(rho_max, n, eps=0.4, constants=SMALL, seed=seed)
+
+
+@st.composite
+def interleavings(draw):
+    """Insert/delete schedules biased toward deleting matched edges."""
+    n = draw(st.integers(6, 16))
+    steps = draw(st.integers(2, 8))
+    return n, steps, draw(st.randoms(use_true_random=False))
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(interleavings())
+def test_matching_survives_adversarial_interleavings(plan):
+    n, steps, rng = plan
+    mm = make(n=n, seed=1)
+    live: set = set()
+    for _ in range(steps):
+        matched = sorted(mm.matching() & live)
+        if matched and rng.random() < 0.5:
+            # aim squarely at the matching: delete matched edges, maybe
+            # mixed with unmatched ones, in the same batch
+            k = rng.randint(1, len(matched))
+            victims = set(rng.sample(matched, k))
+            spare = sorted(live - victims)
+            if spare and rng.random() < 0.5:
+                victims.update(rng.sample(spare, rng.randint(1, min(2, len(spare)))))
+            mm.delete_batch(sorted(victims))
+            live -= victims
+        else:
+            fresh = set()
+            for _ in range(12):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and norm_edge(u, v) not in live:
+                    fresh.add(norm_edge(u, v))
+                if len(fresh) >= 4:
+                    break
+            if not fresh:
+                continue
+            mm.insert_batch(sorted(fresh))
+            live |= fresh
+        mm.check_matching()
+    assert mm.matching() <= live
+
+
+class TestStaleIncomingIndex:
+    """D_incoming is an index, not ground truth — proposals must re-check."""
+
+    def test_planted_dead_edge_is_never_proposed(self):
+        mm = make()
+        mm.insert_batch([(0, 1)])
+        # plant a stale in-neighbour over an edge that does not exist, as
+        # a crashed batch (fault between substrate update and re-index)
+        # would leave behind
+        mm.d_incoming.setdefault(2, set()).add(3)
+        assert 3 not in mm._candidates(2)
+        mm._rematch({2})
+        mm.check_matching()
+        assert (2, 3) not in mm.matching()
+
+    def test_planted_matched_partner_is_never_proposed(self):
+        mm = make()
+        mm.insert_batch([(0, 1), (2, 3)])
+        assert mm.matching() == {(0, 1), (2, 3)}
+        # stale availability claim: 0 listed as an unmatched in-neighbour
+        # of 2 even though 0 is matched
+        mm.d_incoming.setdefault(2, set()).add(0)
+        assert 0 not in mm._candidates(2)
+
+    def test_stale_entry_does_not_break_rematch_after_delete(self):
+        mm = make()
+        mm.insert_batch([(0, 1), (1, 2)])
+        matched = next(iter(mm.matching()))
+        free = ({0, 2} - set(matched)).pop()
+        # dead-edge claim pointing at the soon-to-be-freed vertices
+        mm.d_incoming.setdefault(free, set()).add(9)
+        mm.d_incoming.setdefault(9, set()).add(free)
+        mm.delete_batch([matched])
+        mm.check_matching()
+        # the surviving edge takes over; the phantom edge to 9 never matches
+        assert len(mm.matching()) == 1
+        assert all(9 not in e for e in mm.matching())
+
+
+class TestDeletePurgesIncomingIndex:
+    def test_deleted_edge_leaves_no_incoming_entry(self):
+        mm = make()
+        mm.insert_batch([(0, 1), (1, 2), (3, 4)])
+        mm.delete_batch([(0, 1)])
+        assert 1 not in mm.d_incoming.get(0, set())
+        assert 0 not in mm.d_incoming.get(1, set())
+        mm.check_matching()
+
+    def test_every_incoming_entry_is_a_live_edge_through_churn(self):
+        from repro.graphs import streams
+
+        mm = make(n=18, seed=4)
+        live: set = set()
+        for op in streams.churn(18, steps=20, batch_size=5, seed=4):
+            if op.kind == "insert":
+                mm.insert_batch(op.edges)
+                live |= set(op.edges)
+            else:
+                mm.delete_batch(op.edges)
+                live -= set(op.edges)
+            for head, tails in mm.d_incoming.items():
+                for tail in tails:
+                    assert norm_edge(tail, head) in live, (
+                        f"stale D_incoming entry {tail}->{head}"
+                    )
+            mm.check_matching()

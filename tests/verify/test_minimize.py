@@ -1,0 +1,157 @@
+"""Tests for the ddmin trace minimizer and stream repair."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.streams import BatchOp, churn
+from repro.verify.minimize import minimize_stream, repair_stream
+
+
+def ins(*edges):
+    return BatchOp("insert", tuple(edges))
+
+
+def dele(*edges):
+    return BatchOp("delete", tuple(edges))
+
+
+def is_valid(ops) -> bool:
+    """Inserts absent, deletes present, no empty batches."""
+    live: set = set()
+    for op in ops:
+        if not op.edges:
+            return False
+        for e in op.edges:
+            if op.kind == "insert":
+                if e in live:
+                    return False
+                live.add(e)
+            else:
+                if e not in live:
+                    return False
+                live.discard(e)
+    return True
+
+
+class TestRepairStream:
+    def test_valid_stream_unchanged(self):
+        ops = [ins((0, 1), (1, 2)), dele((0, 1)), ins((0, 1))]
+        repaired = repair_stream(ops)
+        assert repaired == ops
+        # same objects, not copies — repair is a no-op on valid streams
+        assert all(a is b for a, b in zip(repaired, ops))
+
+    def test_duplicate_insert_dropped(self):
+        repaired = repair_stream([ins((0, 1)), ins((0, 1), (1, 2))])
+        assert repaired == [ins((0, 1)), ins((1, 2))]
+
+    def test_dead_delete_dropped(self):
+        repaired = repair_stream([ins((0, 1)), dele((1, 2))])
+        assert repaired == [ins((0, 1))]
+
+    def test_empty_batches_vanish(self):
+        repaired = repair_stream([dele((0, 1)), ins((0, 1))])
+        assert repaired == [ins((0, 1))]
+
+    def test_idempotent(self):
+        ops = [ins((0, 1)), ins((0, 1), (2, 3)), dele((4, 5), (2, 3))]
+        once = repair_stream(ops)
+        assert repair_stream(once) == once
+
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.lists(
+                    st.tuples(st.integers(0, 5), st.integers(0, 5))
+                    .filter(lambda e: e[0] != e[1])
+                    .map(lambda e: (min(e), max(e))),
+                    min_size=0,
+                    max_size=4,
+                ),
+            ),
+            max_size=12,
+        )
+    )
+    def test_repair_always_yields_valid_stream(self, raw):
+        ops = [BatchOp(kind, tuple(dict.fromkeys(edges))) for kind, edges in raw]
+        repaired = repair_stream(ops)
+        assert is_valid(repaired)
+        assert repair_stream(repaired) == repaired
+
+
+class TestMinimizeStream:
+    def test_passing_stream_raises(self):
+        with pytest.raises(ValueError):
+            minimize_stream([ins((0, 1))], lambda ops: False)
+
+    def test_shrinks_to_single_culprit_edge(self):
+        # failure = "the stream ever inserts edge (1, 2)"
+        ops = churn(12, steps=20, batch_size=5, seed=3)
+        ops.append(ins((1, 2)))
+
+        def fails(candidate):
+            live: set = set()
+            for op in candidate:
+                if op.kind == "insert":
+                    live |= set(op.edges)
+                    if (1, 2) in op.edges:
+                        return True
+                else:
+                    live -= set(op.edges)
+            return False
+
+        minimal = minimize_stream(ops, fails)
+        assert minimal == [ins((1, 2))]
+
+    def test_deterministic(self):
+        ops = churn(10, steps=12, batch_size=4, seed=7)
+        target = ops[5].edges[0]
+
+        def fails(candidate):
+            return any(
+                op.kind == ops[5].kind and target in op.edges for op in candidate
+            )
+
+        assert minimize_stream(ops, fails) == minimize_stream(ops, fails)
+
+    def test_predicate_only_sees_valid_streams_once_each(self):
+        ops = churn(10, steps=10, batch_size=4, seed=1)
+        seen = []
+
+        def fails(candidate):
+            assert is_valid(candidate)
+            key = tuple((op.kind, op.edges) for op in candidate)
+            assert key not in seen, "memoised predicate re-ran a candidate"
+            seen.append(key)
+            return sum(op.size for op in candidate if op.kind == "insert") >= 2
+
+        minimal = minimize_stream(ops, fails)
+        assert sum(op.size for op in minimal if op.kind == "insert") == 2
+
+    def test_minimized_stream_still_fails(self):
+        ops = churn(14, steps=15, batch_size=5, seed=9)
+
+        def fails(candidate):
+            return sum(op.size for op in candidate) >= 3
+
+        minimal = minimize_stream(ops, fails)
+        assert fails(minimal)
+        assert sum(op.size for op in minimal) == 3
+
+    def test_shrink_edges_within_batch(self):
+        ops = [ins((0, 1), (2, 3), (4, 5), (6, 7))]
+
+        def fails(candidate):
+            return any(
+                op.kind == "insert" and (4, 5) in op.edges for op in candidate
+            )
+
+        minimal = minimize_stream(ops, fails)
+        assert minimal == [ins((4, 5))]
