@@ -1,0 +1,96 @@
+"""Mechanical autofixes for ``repro lint --fix``.
+
+A :class:`~repro.analysis.findings.Finding` may carry a ``fix`` span
+``(start_line, start_col, end_line, end_col)`` — AST coordinates of the
+expression to wrap in ``sorted(...)`` (the REP-DT001 remedy: canonical
+iteration order).  Applying a fix is pure text surgery:
+
+* spans are applied per file in reverse source order so earlier spans'
+  coordinates stay valid,
+* overlapping spans keep only the first (outermost after sorting) —
+  the next run fixes the survivor,
+* a span already wrapped in ``sorted(`` is skipped, which is what makes
+  ``--fix`` idempotent: the second run rewrites nothing, and the taint
+  analysis treats ``sorted`` as a sanitizer so the finding is gone too.
+
+Fixers return the number of edits; the CLI re-lints after fixing so the
+report reflects the post-fix tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+
+def _span_to_offsets(
+    line_starts: Sequence[int], span: tuple
+) -> tuple[int, int]:
+    start_line, start_col, end_line, end_col = span
+    return line_starts[start_line - 1] + start_col, line_starts[end_line - 1] + end_col
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for i, ch in enumerate(source):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+def apply_fixes_to_source(source: str, spans: Iterable[tuple]) -> tuple[str, int]:
+    """Wrap each span in ``sorted(...)``; returns (new source, edit count)."""
+    starts = _line_starts(source)
+    resolved: list[tuple[int, int]] = []
+    for span in spans:
+        try:
+            begin, end = _span_to_offsets(starts, span)
+        except (IndexError, TypeError):
+            continue
+        if not (0 <= begin < end <= len(source)):
+            continue
+        resolved.append((begin, end))
+    resolved = sorted(set(resolved))
+    chosen: list[tuple[int, int]] = []
+    last_end = -1
+    for begin, end in resolved:
+        if begin < last_end:
+            continue  # overlapping span: leave for the next run
+        chosen.append((begin, end))
+        last_end = end
+    edits = 0
+    for begin, end in reversed(chosen):
+        text = source[begin:end]
+        if text.startswith("sorted(") and text.endswith(")"):
+            continue  # already canonicalized — idempotence
+        source = source[:begin] + "sorted(" + text + ")" + source[end:]
+        edits += 1
+    return source, edits
+
+
+def apply_fixes(findings: Iterable[Finding]) -> dict[str, int]:
+    """Apply every carried fix, grouped per file.
+
+    Returns ``{path: edit count}`` for files actually rewritten.
+    """
+    by_file: dict[str, list[tuple]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_file.setdefault(finding.file, []).append(finding.fix)
+    edited: dict[str, int] = {}
+    for path, spans in sorted(by_file.items()):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        new_source, edits = apply_fixes_to_source(source, spans)
+        if edits:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(new_source)
+            edited[path] = edits
+    return edited
+
+
+__all__ = ["apply_fixes", "apply_fixes_to_source"]

@@ -1,0 +1,98 @@
+"""Content-hash-keyed incremental cache for whole-program summaries.
+
+Re-summarizing every module on every lint is the expensive half of the
+whole-program phase (full AST walks per function).  The summaries
+themselves are deliberately picklable plain data
+(:class:`~repro.analysis.project.ModuleSummary`), so they cache cleanly:
+the key is ``sha256(engine-version || source bytes)``, which makes the
+cache immune to both file edits and checker upgrades —
+:data:`~repro.analysis.project.SUMMARY_VERSION` must be bumped whenever
+summary extraction changes meaning.
+
+Entries are one pickle file per module under the cache directory
+(default ``.reprolint-cache/``, overridable via ``--cache-dir``).  Any
+load problem — corrupt pickle, version skew, changed dataclass shape —
+is treated as a miss, never an error; the cache is an accelerator, not a
+source of truth.  ``prune`` drops entries not touched by the current run
+so the directory tracks the live tree (and stays small enough to be a
+CI cache artifact).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Optional
+
+from .project import SUMMARY_VERSION
+
+_PICKLE_PROTOCOL = 4
+
+
+def source_key(source: str) -> str:
+    """Cache key of one module's source under the current engine version."""
+    digest = hashlib.sha256()
+    digest.update(f"reprolint-summary-v{SUMMARY_VERSION}\0".encode())
+    digest.update(source.encode("utf-8", errors="replace"))
+    return digest.hexdigest()
+
+
+class SummaryCache:
+    """Pickle-per-module cache keyed by content hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        self._touched: set[str] = set()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key + ".pickle")
+
+    def get(self, source: str) -> Optional[Any]:
+        key = source_key(source)
+        self._touched.add(key)
+        try:
+            with open(self._entry_path(key), "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, source: str, value: Any) -> None:
+        key = source_key(source)
+        self._touched.add(key)
+        path = self._entry_path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=_PICKLE_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            pass  # read-only checkout / full disk: run uncached
+
+    def prune(self) -> int:
+        """Remove entries this run never touched; returns how many."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return 0
+        for dirpath, _dirnames, filenames in os.walk(self.directory):
+            for filename in filenames:
+                if not filename.endswith(".pickle"):
+                    continue
+                if filename[: -len(".pickle")] in self._touched:
+                    continue
+                try:
+                    os.unlink(os.path.join(dirpath, filename))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+__all__ = ["SummaryCache", "source_key"]

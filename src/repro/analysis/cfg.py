@@ -1,0 +1,336 @@
+"""Per-function control-flow graphs for the interprocedural checkers.
+
+A :class:`ControlFlowGraph` lowers one function body into basic blocks of
+*simple* statements (control expressions — ``if``/``while`` tests, ``for``
+iterables, ``with`` context managers, ``return`` values — are kept as
+entries of the block that evaluates them, so facts inside them count).
+
+Two distinguished sinks keep path queries honest:
+
+* ``exit`` — normal completion (fall-through or ``return``).  The REP-CF
+  charge-reachability rule quantifies over entry→exit paths only: a path
+  that *raises* is allowed to skip the charge (validation guards bail out
+  before mutating; ``guarded()`` rolls the mutation back).
+* ``raise_exit`` — paths that leave the function exceptionally.
+
+Approximations, chosen to over-approximate the path set (more paths can
+only produce *more* findings, never hide one):
+
+* every block lowered inside a ``try`` body gets an edge to each handler
+  (an exception can occur at any point);
+* a ``finally`` suite is lowered once and shared — ``return``/``break``/
+  ``continue`` are routed *through* it, so its exit block fans out to
+  every continuation that can follow it;
+* loop heads always get an exit edge, even for ``while True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of simple statements."""
+
+    index: int
+    stmts: list[ast.AST] = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+
+    def lines(self) -> list[int]:
+        """Source lines of the block's statements (for anchoring findings)."""
+        return [getattr(s, "lineno", 0) for s in self.stmts]
+
+
+class ControlFlowGraph:
+    """CFG of one function: ``blocks``, ``entry``, ``exit``, ``raise_exit``."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.entry = self._new().index
+        self.exit = self._new().index
+        self.raise_exit = self._new().index
+
+    # -- construction --------------------------------------------------------
+
+    def _new(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.blocks[src].succs.add(dst)
+
+    # -- queries -------------------------------------------------------------
+
+    def reachable(
+        self, start: int, *, blocked: Optional[set[int]] = None, forward: bool = True
+    ) -> set[int]:
+        """Blocks reachable from ``start`` without passing *through* a
+        blocked block (``start`` itself is excluded when blocked)."""
+        blocked = blocked or set()
+        if start in blocked:
+            return set()
+        preds: dict[int, list[int]] = {b.index: [] for b in self.blocks}
+        for b in self.blocks:
+            for s in b.succs:
+                preds[s].append(b.index)
+        seen = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            nbrs: Iterable[int] = (
+                self.blocks[cur].succs if forward else preds[cur]
+            )
+            for nxt in nbrs:
+                if nxt in seen or nxt in blocked:
+                    continue
+                seen.add(nxt)
+                stack.append(nxt)
+        return seen
+
+
+def build_cfg(fn: ast.AST) -> ControlFlowGraph:
+    """Lower ``fn`` (a FunctionDef/AsyncFunctionDef) into a CFG."""
+    cfg = ControlFlowGraph()
+    builder = _Builder(cfg)
+    last = builder.lower_body(fn.body, cfg.entry)
+    if last is not None:
+        cfg.add_edge(last, cfg.exit)
+    return cfg
+
+
+class _Builder:
+    """Statement-list lowering with loop and ``finally`` context stacks."""
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        #: (continue_target, break_target) per enclosing loop, innermost last.
+        self.loops: list[tuple[int, int]] = []
+        #: (finally_entry, finally_exit) per enclosing try-finally,
+        #: innermost last; unwinding edges are routed through these.
+        self.finallies: list[tuple[int, int]] = []
+        #: handler entry blocks of the innermost enclosing ``try`` body.
+        self.handlers: list[list[int]] = []
+        #: finally-stack depth at each loop entry (for break/continue routing).
+        self._loop_finally_depths: list[int] = []
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _fresh(self) -> int:
+        return self.cfg._new().index
+
+    def _route_unwind(self, src: int, target: int, depth: int = 0) -> None:
+        """Edge ``src`` → ``target`` through the finallies above ``depth``."""
+        chain = self.finallies[depth:]
+        cur = src
+        for fin_entry, fin_exit in reversed(chain):
+            self.cfg.add_edge(cur, fin_entry)
+            cur = fin_exit
+        self.cfg.add_edge(cur, target)
+
+    # -- lowering ------------------------------------------------------------
+
+    def lower_body(self, body: list[ast.stmt], current: int) -> Optional[int]:
+        """Lower a statement list; return the live fall-through block
+        (``None`` when control never falls off the end)."""
+        cur: Optional[int] = current
+        for stmt in body:
+            if cur is None:
+                # unreachable code after return/raise/break: keep lowering
+                # into a fresh predecessor-less block so its facts exist.
+                cur = self._fresh()
+            cur = self._lower_stmt(stmt, cur)
+        return cur
+
+    def _lower_stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                cfg.blocks[cur].stmts.append(stmt)
+            self._route_unwind(cur, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cfg.blocks[cur].stmts.append(stmt)
+            if self.handlers and self.handlers[-1]:
+                for handler_entry in self.handlers[-1]:
+                    cfg.add_edge(cur, handler_entry)
+            else:
+                self._route_unwind(cur, cfg.raise_exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self._route_unwind(cur, self.loops[-1][1], self._loop_depth())
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self._route_unwind(cur, self.loops[-1][0], self._loop_depth())
+            return None
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._lower_loop(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                cfg.blocks[cur].stmts.append(item.context_expr)
+            return self.lower_body(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            return self._lower_match(stmt, cur)
+        # simple statement (incl. nested def/class, treated as opaque)
+        cfg.blocks[cur].stmts.append(stmt)
+        return cur
+
+    def _loop_depth(self) -> int:
+        """Index into ``self.finallies`` where the innermost loop began.
+
+        ``break``/``continue`` must run finallies opened *inside* the loop,
+        not ones enclosing it; loops record the finally depth at entry.
+        """
+        return self._loop_finally_depths[-1] if self._loop_finally_depths else 0
+
+    def _lower_if(self, stmt: ast.If, cur: int) -> Optional[int]:
+        cfg = self.cfg
+        cfg.blocks[cur].stmts.append(stmt.test)
+        then_entry = self._fresh()
+        cfg.add_edge(cur, then_entry)
+        then_exit = self.lower_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self._fresh()
+            cfg.add_edge(cur, else_entry)
+            else_exit = self.lower_body(stmt.orelse, else_entry)
+        else:
+            else_exit = cur
+        if then_exit is None and stmt.orelse and else_exit is None:
+            return None
+        join = self._fresh()
+        if then_exit is not None:
+            cfg.add_edge(then_exit, join)
+        if else_exit is not None:
+            cfg.add_edge(else_exit, join)
+        return join
+
+    def _lower_loop(self, stmt, cur: int) -> int:
+        cfg = self.cfg
+        head = self._fresh()
+        cfg.add_edge(cur, head)
+        if isinstance(stmt, ast.While):
+            cfg.blocks[head].stmts.append(stmt.test)
+        else:
+            cfg.blocks[head].stmts.append(stmt.iter)
+            cfg.blocks[head].stmts.append(_LoopBind(stmt.target))
+        after = self._fresh()
+        body_entry = self._fresh()
+        cfg.add_edge(head, body_entry)
+        self.loops.append((head, after))
+        self._loop_finally_depths.append(len(self.finallies))
+        body_exit = self.lower_body(stmt.body, body_entry)
+        if body_exit is not None:
+            cfg.add_edge(body_exit, head)
+        self.loops.pop()
+        self._loop_finally_depths.pop()
+        if stmt.orelse:
+            # the else suite runs on normal loop exhaustion; break jumps
+            # straight to ``after``, bypassing it.
+            else_entry = self._fresh()
+            cfg.add_edge(head, else_entry)
+            else_exit = self.lower_body(stmt.orelse, else_entry)
+            if else_exit is not None:
+                cfg.add_edge(else_exit, after)
+        else:
+            cfg.add_edge(head, after)
+        return after
+
+    def _lower_try(self, stmt: ast.Try, cur: int) -> Optional[int]:
+        cfg = self.cfg
+        after = self._fresh()
+
+        fin_entry = fin_exit = None
+        if stmt.finalbody:
+            fin_entry = self._fresh()
+            fin_block_exit = self.lower_body(stmt.finalbody, fin_entry)
+            # a finally whose body never completes (always raises) still
+            # needs an exit node for routing; it simply has no normal succ.
+            fin_exit = fin_block_exit if fin_block_exit is not None else self._fresh()
+
+        handler_entries = [self._fresh() for _ in stmt.handlers]
+
+        if stmt.finalbody:
+            self.finallies.append((fin_entry, fin_exit))  # type: ignore[arg-type]
+        self.handlers.append(handler_entries)
+        body_start = len(cfg.blocks)
+        body_entry = self._fresh()
+        cfg.add_edge(cur, body_entry)
+        body_exit = self.lower_body(stmt.body, body_entry)
+        body_end = len(cfg.blocks)
+        self.handlers.pop()
+
+        # an exception can occur in any block lowered for the try body
+        for idx in range(body_start, body_end):
+            for handler_entry in handler_entries:
+                cfg.add_edge(idx, handler_entry)
+        if not handler_entries and stmt.finalbody:
+            # exception with no handler: unwind through finally and leave
+            for idx in range(body_start, body_end):
+                cfg.add_edge(idx, fin_entry)  # type: ignore[arg-type]
+            cfg.add_edge(fin_exit, cfg.raise_exit)  # type: ignore[arg-type]
+
+        if stmt.orelse:
+            if body_exit is not None:
+                orelse_entry = self._fresh()
+                cfg.add_edge(body_exit, orelse_entry)
+                body_exit = self.lower_body(stmt.orelse, orelse_entry)
+
+        handler_exits: list[Optional[int]] = []
+        for handler, handler_entry in zip(stmt.handlers, handler_entries):
+            if handler.type is not None:
+                cfg.blocks[handler_entry].stmts.append(handler.type)
+            handler_exits.append(self.lower_body(handler.body, handler_entry))
+
+        if stmt.finalbody:
+            self.finallies.pop()
+            live = [x for x in [body_exit, *handler_exits] if x is not None]
+            for block in live:
+                cfg.add_edge(block, fin_entry)  # type: ignore[arg-type]
+            if live:
+                cfg.add_edge(fin_exit, after)  # type: ignore[arg-type]
+                return after
+            # nothing completes normally; ``after`` is unreachable
+            return None
+        live = [x for x in [body_exit, *handler_exits] if x is not None]
+        for block in live:
+            cfg.add_edge(block, after)
+        return after if live else None
+
+    def _lower_match(self, stmt: ast.Match, cur: int) -> Optional[int]:
+        cfg = self.cfg
+        cfg.blocks[cur].stmts.append(stmt.subject)
+        join = self._fresh()
+        for case in stmt.cases:
+            case_entry = self._fresh()
+            cfg.add_edge(cur, case_entry)
+            if case.guard is not None:
+                cfg.blocks[case_entry].stmts.append(case.guard)
+            case_exit = self.lower_body(case.body, case_entry)
+            if case_exit is not None:
+                cfg.add_edge(case_exit, join)
+        # no case may match: fall through
+        cfg.add_edge(cur, join)
+        return join
+
+
+class _LoopBind(ast.AST):
+    """Marker wrapping a ``for`` target so facts collectors see the bind."""
+
+    _fields = ("target",)
+
+    def __init__(self, target: ast.expr) -> None:
+        super().__init__()
+        self.target = target
+        self.lineno = getattr(target, "lineno", 0)
+
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]

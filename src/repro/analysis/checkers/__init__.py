@@ -1,19 +1,27 @@
 """reprolint checker plugins.
 
-Each checker is an :class:`~repro.analysis.walker.Checker` subclass; the
-engine instantiates every entry in :data:`ALL_CHECKERS` per module.
+Two suites: per-file checkers (:class:`~repro.analysis.walker.Checker`
+subclasses, instantiated per module over the shared AST) in
+:data:`ALL_CHECKERS`, and whole-program checkers
+(:class:`~repro.analysis.project.ProjectChecker` subclasses, run once
+over the :class:`~repro.analysis.project.ProjectContext`) in
+:data:`ALL_PROJECT_CHECKERS`.
 """
 
 from __future__ import annotations
 
+from .chargepath import ChargePathChecker
 from .cost import CostAccountingChecker
+from .crossproc import CrossProcessChecker
 from .determinism import DeterminismChecker
+from .exceptions import ExceptionSafetyChecker
 from .hygiene import ApiHygieneChecker
 from .observability import ObservabilityChecker
 from .parallelism import ParallelismChecker
 from .races import RaceChecker
+from .taint import DeterminismTaintChecker
 
-#: the default checker suite, in report order.
+#: the default per-file checker suite, in report order.
 ALL_CHECKERS = [
     CostAccountingChecker,
     DeterminismChecker,
@@ -23,11 +31,24 @@ ALL_CHECKERS = [
     ApiHygieneChecker,
 ]
 
+#: the whole-program (interprocedural) checker suite.
+ALL_PROJECT_CHECKERS = [
+    ChargePathChecker,
+    ExceptionSafetyChecker,
+    DeterminismTaintChecker,
+    CrossProcessChecker,
+]
+
 __all__ = [
     "ALL_CHECKERS",
+    "ALL_PROJECT_CHECKERS",
     "ApiHygieneChecker",
+    "ChargePathChecker",
     "CostAccountingChecker",
+    "CrossProcessChecker",
     "DeterminismChecker",
+    "DeterminismTaintChecker",
+    "ExceptionSafetyChecker",
     "ObservabilityChecker",
     "ParallelismChecker",
     "RaceChecker",

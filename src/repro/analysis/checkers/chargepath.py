@@ -1,0 +1,124 @@
+"""REP-CF: all-paths charge reachability over the interprocedural CFG.
+
+The per-file REP-C001 asks "does this public mutating method charge the
+cost model *at all*, possibly through an intra-module helper?".  This
+family asks the strictly stronger whole-program question: does it charge
+on **every** path from entry to normal return that mutates state?  A
+method that charges on the common path but not in an early-out branch
+passes REP-C001 yet silently under-counts work — exactly the shape of
+accounting bug the differential audit harness only catches at runtime.
+
+A violation is a path ``entry -> ... -> exit`` containing at least one
+mutation block and zero charge blocks.  A block charges when it contains
+a direct ``cm.*`` charge, forwards the cost model to a callee, or calls
+a function whose whole-program ``may_charge`` fixpoint is true.
+Exceptional paths (into ``raise``) are exempt: rollback via
+``resilience.guard`` refunds their cost.  Only firing on functions whose
+``may_charge`` is already true keeps REP-CF001 disjoint from REP-C001.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding
+from ..project import FunctionSummary, ModuleSummary, ProjectChecker
+
+
+def _charge_blocks(project, fs: FunctionSummary) -> set[int]:
+    charging: set[int] = set()
+    for idx, block in enumerate(fs.blocks):
+        if block.direct_charge:
+            charging.add(idx)
+            continue
+        for call_idx in block.call_idxs:
+            callee = project.resolve_call(fs, fs.calls[call_idx])
+            if callee is not None and callee.may_charge:
+                charging.add(idx)
+                break
+    return charging
+
+
+def _reach_avoiding(
+    succs_of, start: int, blocked: set[int], n: int
+) -> set[int]:
+    """Blocks reachable from ``start`` without entering a blocked block."""
+    if start in blocked:
+        return set()
+    seen = {start}
+    stack = [start]
+    while stack:
+        cur = stack.pop()
+        for nxt in succs_of(cur):
+            if nxt in seen or nxt in blocked or not (0 <= nxt < n):
+                continue
+            seen.add(nxt)
+            stack.append(nxt)
+    return seen
+
+
+class ChargePathChecker(ProjectChecker):
+    """Every mutating entry->return path must include a CostModel charge."""
+
+    rules = {
+        "REP-CF001": (
+            "public mutating batch method has an entry-to-return path that "
+            "mutates structure state without charging the CostModel"
+        ),
+    }
+
+    def run(self) -> Iterable[tuple[ModuleSummary, Finding]]:
+        for summary, fs in self.project.all_functions():
+            if not summary.in_cost_scope:
+                continue
+            if not (fs.is_public and fs.cls is not None):
+                continue
+            if not (fs.may_mutate and fs.may_charge):
+                continue  # never-charging methods are REP-C001's business
+            if not self.project.class_has_cm(summary.module_name, fs.cls):
+                continue
+            finding = self._check(summary, fs)
+            if finding is not None:
+                yield summary, finding
+
+    def _check(self, summary: ModuleSummary, fs: FunctionSummary):
+        n = len(fs.blocks)
+        if not (0 <= fs.entry < n and 0 <= fs.exit < n):
+            return None
+        charging = _charge_blocks(self.project, fs)
+        preds: list[list[int]] = [[] for _ in range(n)]
+        for idx, block in enumerate(fs.blocks):
+            for nxt in block.succs:
+                if 0 <= nxt < n:
+                    preds[nxt].append(idx)
+        fwd = _reach_avoiding(
+            lambda i: fs.blocks[i].succs, fs.entry, charging, n
+        )
+        bwd = _reach_avoiding(lambda i: preds[i], fs.exit, charging, n)
+        uncharged_path = fwd & bwd
+        for idx in sorted(uncharged_path):
+            block = fs.blocks[idx]
+            lines = list(block.mutation_lines)
+            for call_idx in block.call_idxs:
+                callee = self.project.resolve_call(fs, fs.calls[call_idx])
+                if (
+                    callee is not None
+                    and callee.may_mutate
+                    and not callee.may_charge
+                ):
+                    lines.append(fs.calls[call_idx].line)
+            if not lines:
+                continue
+            line = min(lines)
+            return Finding(
+                summary.path,
+                line,
+                "REP-CF001",
+                (
+                    f"'{fs.qualname}' mutates state (line {line}) on a path "
+                    "that returns without any CostModel charge — every "
+                    "entry-to-return path through a mutation must tick/"
+                    "charge/pfor (DESIGN.md §6)"
+                ),
+            )
+        return None

@@ -1,0 +1,115 @@
+"""REP-PX: cross-process state flow in worker-reachable code.
+
+The process executor (``pram/executor.py``) runs :class:`RungTask`
+payloads in ``multiprocessing`` workers.  Workers get *copies* of the
+coordinator's state; the only channel back is the pickled
+:class:`WorkerDelta` that ``merge_delta`` folds into the coordinator.
+Any other write made in worker code — a module global, a mutated
+argument that is not part of the return value — silently diverges the
+process panel from the serial executor.
+
+The checker seeds from every ``<pool-ish>.map(fn, ...)`` /
+``.submit(fn, ...)`` call site, takes the call-graph closure of the
+worker functions, and inside that closure flags:
+
+* **REP-PX001** — writes to module-level globals (``global X`` or
+  mutator calls on a module binding),
+* **REP-PX002** — mutation of a parameter that the function never
+  returns (the coordinator's copy is untouched; the worker's copy dies
+  with the process).
+
+By-design worker-local globals (e.g. a fresh per-worker tracer whose
+results *are* folded into the delta) belong in the committed baseline
+with a justification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..findings import Finding
+from ..project import FunctionSummary, ModuleSummary, ProjectChecker
+
+
+class CrossProcessChecker(ProjectChecker):
+    """Worker-side state must reach the coordinator via WorkerDelta."""
+
+    rules = {
+        "REP-PX001": (
+            "module global written in worker-reachable code — worker "
+            "processes do not share memory with the coordinator"
+        ),
+        "REP-PX002": (
+            "parameter mutated in worker-reachable code but not returned "
+            "— the mutation dies with the worker process"
+        ),
+    }
+
+    def run(self) -> Iterable[tuple[ModuleSummary, Finding]]:
+        closure = self._worker_closure()
+        emitted: set = set()
+        for summary, fs in closure:
+            for name, line in fs.writes_globals:
+                key = (summary.path, line, "REP-PX001", name)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield summary, Finding(
+                    summary.path,
+                    line,
+                    "REP-PX001",
+                    (
+                        f"module global '{name}' is written in worker-"
+                        f"reachable code ('{fs.qualname}') — workers do not "
+                        "share memory with the coordinator; fold the state "
+                        "into the WorkerDelta merge instead"
+                    ),
+                )
+            returned = set(fs.returned_names)
+            for name, line in fs.mutates_params:
+                if name in returned:
+                    continue
+                key = (summary.path, line, "REP-PX002", name)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield summary, Finding(
+                    summary.path,
+                    line,
+                    "REP-PX002",
+                    (
+                        f"parameter '{name}' is mutated in worker-reachable "
+                        f"code ('{fs.qualname}') but never returned — the "
+                        "coordinator's copy is untouched and the worker's "
+                        "copy dies with the process; return it or route it "
+                        "through the WorkerDelta"
+                    ),
+                )
+
+    # -- closure -------------------------------------------------------------
+
+    def _worker_closure(
+        self,
+    ) -> list[tuple[ModuleSummary, FunctionSummary]]:
+        seen: set[int] = set()
+        order: list[tuple[ModuleSummary, FunctionSummary]] = []
+        stack: list[FunctionSummary] = []
+        for _summary, fs in self.project.all_functions():
+            for seed in fs.worker_seed_descs:
+                worker = self.project.resolve_call(fs, seed)
+                if worker is not None:
+                    stack.append(worker)
+        while stack:
+            fs = stack.pop()
+            if id(fs) in seen:
+                continue
+            seen.add(id(fs))
+            summary = self.project.modules.get(fs.module)
+            if summary is None:
+                continue
+            order.append((summary, fs))
+            for site in fs.calls:
+                callee = self.project.resolve_call(fs, site)
+                if callee is not None and id(callee) not in seen:
+                    stack.append(callee)
+        return order

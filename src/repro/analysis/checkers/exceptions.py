@@ -1,0 +1,112 @@
+"""REP-X: exception-safety of ``guarded()`` regions.
+
+``resilience/guard.py:guarded`` promises strong exception safety: on any
+exception the target structure is rebuilt from its pre-batch snapshot.
+That promise has two failure modes this family catches statically:
+
+* **REP-X002** — the guarded target's class is one ``capture()`` cannot
+  snapshot at all (no ``tail_of`` / ``inner`` / ``_buckets`` / ``bal`` /
+  ``rungs`` / ``guard`` attribute fingerprint, directly or via a base).
+  At runtime this raises ``ParameterError`` *before* the batch runs, so
+  the bug only surfaces when the guarded call site is first exercised.
+
+* **REP-X001** — state **other than the guarded target** is mutated
+  inside the region.  The snapshot covers the target only; a rollback
+  restores the target but leaves the sibling mutation applied, breaking
+  the all-or-nothing contract the caller asked for.
+
+Both rules stay lenient when the target cannot be resolved inside the
+project (dynamic dispatch, externally-constructed structures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..findings import Finding
+from ..project import (
+    FunctionSummary,
+    GuardedRegion,
+    ModuleSummary,
+    ProjectChecker,
+)
+
+
+class ExceptionSafetyChecker(ProjectChecker):
+    """Mutations under ``guarded()`` must be covered by the snapshot."""
+
+    rules = {
+        "REP-X001": (
+            "state outside the guarded target is mutated inside a "
+            "guarded() region — a rollback will not restore it"
+        ),
+        "REP-X002": (
+            "guarded() target is not snapshot-capable: resilience.guard."
+            "capture has no case for its attribute fingerprint"
+        ),
+    }
+
+    def run(self) -> Iterable[tuple[ModuleSummary, Finding]]:
+        for summary, fs in self.project.all_functions():
+            for region in fs.guarded_regions:
+                yield from self._check_region(summary, fs, region)
+
+    def _check_region(
+        self, summary: ModuleSummary, fs: FunctionSummary, region: GuardedRegion
+    ) -> Iterable[tuple[ModuleSummary, Finding]]:
+        cls_expr = self._target_class_expr(fs, region)
+        if cls_expr is not None:
+            capable = self.project.capture_capable(summary.module_name, cls_expr)
+            if capable is False:
+                target = region.target or cls_expr
+                yield summary, Finding(
+                    summary.path,
+                    region.line,
+                    "REP-X002",
+                    (
+                        f"guarded() target '{target}' resolves to class "
+                        f"'{cls_expr}' which capture() cannot snapshot — it "
+                        "binds none of the dispatch fingerprints (tail_of, "
+                        "inner, _buckets, bal, rungs, guard); guarding it "
+                        "raises ParameterError at runtime"
+                    ),
+                )
+        for written, line in region.alien_writes:
+            yield summary, Finding(
+                summary.path,
+                line,
+                "REP-X001",
+                (
+                    f"'{written}' is mutated inside a guarded() region whose "
+                    f"snapshot only covers "
+                    f"'{region.target or region.target_kind}' (line "
+                    f"{region.line}) — on rollback this mutation survives, "
+                    "breaking strong exception safety"
+                ),
+            )
+
+    def _target_class_expr(
+        self, fs: FunctionSummary, region: GuardedRegion
+    ) -> Optional[str]:
+        if region.target_kind == "self":
+            # a mixin's ``guarded(self)`` runs with a derived instance; judge
+            # the class only when nothing in the project subclasses it.
+            if fs.cls is not None and self._is_subclassed(fs.cls):
+                return None
+            return fs.cls
+        if region.target_kind == "name":
+            return region.type_hint
+        if region.target_kind == "self_attr" and fs.cls is not None:
+            summary = self.project.modules.get(fs.module)
+            cls = summary.classes.get(fs.cls) if summary else None
+            if cls is not None:
+                return cls.attr_types.get(region.target)
+        return None
+
+    def _is_subclassed(self, cls_name: str) -> bool:
+        for summary in self.project.modules.values():
+            for cls in summary.classes.values():
+                for base in cls.bases:
+                    if base.split(".")[-1] == cls_name:
+                        return True
+        return False

@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 serialization of a lint report.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading one file per run gets every reprolint
+finding rendered as an inline PR annotation with rule metadata, without
+any custom tooling.  This emitter covers the minimal-but-valid subset:
+one ``run`` with a ``tool.driver`` carrying the full rule catalogue
+(id, shortDescription, helpUri into docs/STATIC_ANALYSIS.md) and one
+``result`` per finding with a ``physicalLocation``.
+
+Schema: https://json.schemastore.org/sarif-2.1.0.json — validated
+structurally in tests/analysis/test_sarif.py.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping
+
+from .findings import LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_DOC_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def _uri(path: str) -> str:
+    """A relative, /-separated artifact URI (what code scanning expects)."""
+    if os.path.isabs(path):
+        try:
+            path = os.path.relpath(path)
+        except ValueError:
+            pass
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def _level(rule: str) -> str:
+    """SARIF severity: everything is an error except hygiene notes."""
+    return "warning" if rule.startswith("REP-H") else "error"
+
+
+def to_sarif(report: LintReport, rules: Mapping[str, str]) -> dict:
+    """The SARIF 2.1.0 log object for one lint run."""
+    rule_ids = sorted(set(rules) | {f.rule for f in report.findings})
+    descriptors = [
+        {
+            "id": rule_id,
+            "name": rule_id.replace("-", ""),
+            "shortDescription": {
+                "text": rules.get(rule_id, "reprolint finding")
+            },
+            "helpUri": _DOC_URI,
+            "defaultConfiguration": {"level": _level(rule_id)},
+        }
+        for rule_id in rule_ids
+    ]
+    index_of = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": _level(finding.rule),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _uri(finding.file),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in sorted(report.findings)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": _DOC_URI,
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport, rules: Mapping[str, str]) -> str:
+    """The SARIF log as an indented JSON string (what CI uploads)."""
+    return json.dumps(to_sarif(report, rules), indent=2)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif", "to_sarif"]

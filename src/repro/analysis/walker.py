@@ -335,7 +335,12 @@ class ModuleContext:
 
     def is_suppressed(self, finding: Finding) -> bool:
         rules = self.suppressions.get(finding.line)
-        return bool(rules) and ("all" in rules or finding.rule in rules)
+        if not rules:
+            return False
+        # family prefixes suppress too: disable=REP-D covers REP-D001/DT001
+        return "all" in rules or any(
+            finding.rule == r or finding.rule.startswith(r) for r in rules
+        )
 
 
 class Checker(ast.NodeVisitor):

@@ -29,7 +29,7 @@ def greedy_peeling_density(g: DynamicGraph) -> tuple[float, set[int]]:
     # Include isolated vertices only if the graph is empty of edges.
     if not alive:
         return 0.0, set(range(g.n)) if g.n else set()
-    cur = {v: g.degree(v) for v in alive}
+    cur = {v: g.degree(v) for v in sorted(alive)}
     edges_left = g.m
     heap = [(d, v) for v, d in cur.items()]
     heapq.heapify(heap)

@@ -71,7 +71,7 @@ def parallel_core_numbers(
     k = 0
     rounds = 0
     while alive:
-        frontier = [v for v in alive if cur[v] <= k]
+        frontier = [v for v in sorted(alive) if cur[v] <= k]
         if cm is not None:
             cm.charge(work=len(alive), depth=1)  # the parallel filter
         if not frontier:
@@ -90,7 +90,7 @@ def parallel_core_numbers(
                 for w in g.neighbors(v):
                     if w in alive:
                         cur[w] -= 1
-            for v in set(w for u in frontier for w in g.neighbors(u) if w in alive):
+            for v in sorted(set(w for u in frontier for w in g.neighbors(u) if w in alive)):
                 if cur[v] <= k:
                     next_frontier.append(v)
             frontier = next_frontier

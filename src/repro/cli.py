@@ -352,15 +352,15 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Run reprolint (see docs/STATIC_ANALYSIS.md) over the given paths."""
+    """Run reprolint (see docs/STATIC_ANALYSIS.md) over the given paths.
+
+    Every argument after ``lint`` is forwarded verbatim to the reprolint
+    CLI, so new flags (``--fix``, ``--statistics``, ``--format sarif``,
+    baseline/cache options) work without re-declaring them here.
+    """
     from .analysis.cli import main as lint_main
 
-    argv: list[str] = list(args.paths)
-    if args.format != "text":
-        argv += ["--format", args.format]
-    if args.select:
-        argv += ["--select", args.select]
-    return lint_main(argv)
+    return lint_main(list(args.lint_args))
 
 
 def cmd_verify(args) -> int:
@@ -614,11 +614,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=cmd_chaos)
 
     lint = sub.add_parser(
-        "lint", help="run reprolint (static invariant checks) over the tree"
+        "lint",
+        help="run reprolint (static invariant checks) over the tree",
+        description=(
+            "All arguments are forwarded to the reprolint CLI; see "
+            "'python -m repro.analysis --help' for the full flag set."
+        ),
     )
-    lint.add_argument("paths", nargs="*", default=["src"])
-    lint.add_argument("--format", default="text", choices=["text", "json"])
-    lint.add_argument("--select", help="comma-separated rule ids to report")
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="paths and reprolint flags (forwarded verbatim)")
     lint.set_defaults(func=cmd_lint)
     return parser
 

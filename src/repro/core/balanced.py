@@ -283,6 +283,9 @@ class BalancedOrientation(Transactional):
         merged.
         """
         insertions, deletions = list(insertions), list(deletions)
+        # the batch envelope itself — validation and journal merge — is
+        # O(|insertions| + |deletions|) work even when one half is empty
+        self.cm.charge(work=len(insertions) + len(deletions) + 1, depth=1)
         reversed_, inserted, deleted = [], [], []
         if deletions:
             self.delete_batch(deletions)

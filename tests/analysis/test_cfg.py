@@ -1,0 +1,177 @@
+"""CFG builder edge cases: try/finally routing, early return, loop-else."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+
+
+def _cfg(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def _block_at(cfg, line: int) -> int:
+    """Index of the (unique) block containing a statement on ``line``."""
+    hits = [b.index for b in cfg.blocks if line in b.lines()]
+    assert hits, f"no block contains line {line}"
+    return hits[0]
+
+
+class TestEarlyReturn:
+    """Early returns create genuinely separate entry->exit paths."""
+
+    SRC = """
+    def f(self, x):
+        if x:
+            return 1
+        self.mutate()
+        return 2
+    """
+
+    def test_both_returns_reach_exit(self):
+        cfg = _cfg(self.SRC)
+        reach = cfg.reachable(cfg.entry)
+        assert cfg.exit in reach
+        assert _block_at(cfg, 4) in reach  # return 1
+        assert _block_at(cfg, 5) in reach  # self.mutate()
+
+    def test_early_path_avoids_late_body(self):
+        cfg = _cfg(self.SRC)
+        late = _block_at(cfg, 5)
+        assert cfg.exit in cfg.reachable(cfg.entry, blocked={late})
+
+    def test_late_path_avoids_early_return(self):
+        cfg = _cfg(self.SRC)
+        early = _block_at(cfg, 4)
+        assert cfg.exit in cfg.reachable(cfg.entry, blocked={early})
+
+
+class TestTryFinally:
+    """finally suites sit on every leaving path, normal or unwinding."""
+
+    def test_return_routes_through_finally(self):
+        cfg = _cfg(
+            """
+            def f():
+                try:
+                    return 1
+                finally:
+                    cleanup()
+            """
+        )
+        fin = _block_at(cfg, 6)
+        assert cfg.exit in cfg.reachable(cfg.entry)
+        assert cfg.exit not in cfg.reachable(cfg.entry, blocked={fin})
+
+    def test_unhandled_exception_unwinds_through_finally(self):
+        cfg = _cfg(
+            """
+            def f():
+                try:
+                    danger()
+                finally:
+                    cleanup()
+                return 1
+            """
+        )
+        fin = _block_at(cfg, 6)
+        assert cfg.raise_exit in cfg.reachable(cfg.entry)
+        assert cfg.raise_exit not in cfg.reachable(cfg.entry, blocked={fin})
+        # the normal path also runs the finally
+        assert cfg.exit not in cfg.reachable(cfg.entry, blocked={fin})
+
+    def test_handler_catches_raise(self):
+        cfg = _cfg(
+            """
+            def f():
+                try:
+                    raise ValueError("boom")
+                except ValueError:
+                    recover()
+                return 0
+            """
+        )
+        handler = _block_at(cfg, 6)
+        assert handler in cfg.reachable(cfg.entry)
+        assert cfg.exit in cfg.reachable(cfg.entry)
+
+    def test_break_runs_inner_finally_only(self):
+        cfg = _cfg(
+            """
+            def f(xs):
+                for x in xs:
+                    try:
+                        if x:
+                            break
+                    finally:
+                        inner()
+                return done()
+            """
+        )
+        fin = _block_at(cfg, 8)
+        # the break path must pass through the inner finally
+        assert cfg.exit in cfg.reachable(cfg.entry)
+        ret = _block_at(cfg, 9)
+        # reaching the return while blocking the finally is only possible
+        # via the loop-exhaustion edge, never via break
+        assert ret in cfg.reachable(cfg.entry, blocked={fin})
+
+
+class TestLoopElse:
+    SRC = """
+    def f(xs):
+        for x in xs:
+            if x:
+                break
+        else:
+            tail()
+        return 0
+    """
+
+    def test_else_runs_on_exhaustion(self):
+        cfg = _cfg(self.SRC)
+        assert _block_at(cfg, 7) in cfg.reachable(cfg.entry)
+
+    def test_break_bypasses_else(self):
+        cfg = _cfg(self.SRC)
+        tail = _block_at(cfg, 7)
+        assert cfg.exit in cfg.reachable(cfg.entry, blocked={tail})
+
+    def test_while_true_overapproximates_exit(self):
+        cfg = _cfg(
+            """
+            def f():
+                while True:
+                    spin()
+            """
+        )
+        # deliberate over-approximation: the head always has an exit edge
+        assert cfg.exit in cfg.reachable(cfg.entry)
+
+
+class TestUnreachableAndWith:
+    def test_code_after_return_still_lowered(self):
+        cfg = _cfg(
+            """
+            def f(self):
+                return 1
+                self.mutate()
+            """
+        )
+        dead = _block_at(cfg, 4)
+        assert dead not in cfg.reachable(cfg.entry)
+
+    def test_with_context_expr_kept_in_block(self):
+        cfg = _cfg(
+            """
+            def f(self, batch):
+                with self.cm.parallel() as region:
+                    work(batch)
+                return 1
+            """
+        )
+        assert _block_at(cfg, 3) in cfg.reachable(cfg.entry)
+        assert cfg.exit in cfg.reachable(cfg.entry)
