@@ -1,0 +1,295 @@
+"""E23 — adversarial scenarios at scale: soak verdicts and out-of-core memory.
+
+Two halves, one claim: the worst-case machinery survives the workloads
+the hardness literature says are hard, at scales that do not fit the
+comfortable in-memory path.
+
+* **Soak table** — every catalog adversary (docs/SCENARIOS.md) runs
+  through fault-injected chaos trials *and* the five-config differential
+  panel at CI scale; the verdict must be GREEN across the board, with
+  the recovery-tier usage and per-scenario peak traced memory recorded.
+* **Out-of-core table** — the ``sliding-window-churn`` adversary at the
+  ``large`` preset (10^6 edge updates over n=4096) is spilled to a
+  sealed trace file without ever materialising, validated by a
+  bounded-memory scan, and replayed through the tiered recovery manager
+  from the chunked ``iter_trace`` reader while a seeded fault injector
+  fires mid-stream.  Peak traced memory must stay roughly flat as the
+  stream grows 10x — live state, not stream length, is what costs.
+
+``REPRO_E23_TINY=1`` shrinks both halves for the CI gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+import resource
+import tempfile
+import time
+import tracemalloc
+
+from repro.core.balanced import BalancedOrientation
+from repro.graphs.tracefile import iter_trace, scan_trace, write_stream
+from repro.instrument import BatchTimer, CostModel, render_table
+from repro.instrument.metrics import RECOVERY_TIERS
+from repro.resilience.faults import SITES, FaultInjector, injecting
+from repro.resilience.recovery import RecoveryManager
+from repro.scenarios import (
+    SCALES,
+    scenario_names,
+    scenario_stream,
+    soak_scenario,
+    suggested_height,
+)
+from repro.verify.audits import audit_orientation
+
+from common import CONSTANTS, Experiment, write_bench
+
+TINY = bool(os.environ.get("REPRO_E23_TINY"))
+#: soak half: scenario soak preset + chaos volume
+SOAK_SCALE = "tiny" if TINY else "ci"
+TRIALS, FAULTS_PER_TRIAL = (1, 1) if TINY else (2, 2)
+#: out-of-core half: batch counts of the small/large sliding-window runs
+#: (the large one is the ``large`` preset's full 10^6 edge updates)
+OOC_SMALL, OOC_LARGE = (150, 1500) if TINY else (2000, 20_000)
+OOC_FAULTS = 2 if TINY else 6
+
+_CACHE: dict[str, object] = {}
+
+
+def soak(name: str) -> dict:
+    """One scenario's soak verdict plus its peak traced memory (cached)."""
+    key = f"soak:{name}"
+    if key not in _CACHE:
+        tracemalloc.start()
+        report = soak_scenario(
+            name,
+            scale=SOAK_SCALE,
+            seed=23,
+            trials=TRIALS,
+            faults_per_trial=FAULTS_PER_TRIAL,
+            constants=CONSTANTS,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        _CACHE[key] = {"report": report, "peak_kb": peak // 1024}
+    return _CACHE[key]
+
+
+def out_of_core(batches: int) -> dict:
+    """Spill, scan, and fault-injected-replay one windowed stream (cached).
+
+    The stream is the ``large`` preset's sliding window truncated to
+    ``batches``; at ``OOC_LARGE`` (non-tiny) that is the full 10^6
+    edge-update instance.  Each stage runs under ``tracemalloc`` so the
+    table reports what the *algorithmic* path holds live — the op list
+    never exists, so the peaks must track the window, not the stream.
+    """
+    key = f"ooc:{batches}"
+    if key in _CACHE:
+        return _CACHE[key]
+    params = dataclasses.replace(SCALES["large"], batches=batches, seed=23)
+    H = suggested_height("sliding-window-churn", params)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "window.trace"
+        tracemalloc.start()
+        write_stream(scenario_stream("sliding-window-churn", params), path)
+        _, spill_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        tracemalloc.start()
+        info = scan_trace(path, strict=True)
+        _, scan_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        cm = CostModel()
+        manager = RecoveryManager(
+            BalancedOrientation(H, cm=cm, constants=CONSTANTS),
+            checkpoint_every=100,
+            audit_every=25,
+            bounded_history=True,
+        )
+        injector = FaultInjector.plan(
+            seed=23,
+            count=OOC_FAULTS,
+            sites=tuple(sorted(SITES)),
+            actions=("raise", "corrupt"),
+        )
+        timer = BatchTimer(cm)
+        t0 = time.perf_counter()
+        tracemalloc.start()
+        with injecting(injector):
+            for op in iter_trace(path, strict=True):
+                with timer.batch(op.kind, op.size):
+                    manager.apply(op)
+        _, replay_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        wall = time.perf_counter() - t0
+    audit = audit_orientation(manager.structure, manager.graph)
+    _CACHE[key] = {
+        "batches": info.batches,
+        "edge_updates": info.edge_updates,
+        "max_live": info.max_live_edges,
+        "spill_peak_kb": spill_peak // 1024,
+        "scan_peak_kb": scan_peak // 1024,
+        "replay_peak_kb": replay_peak // 1024,
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "faults_fired": len(injector.fired),
+        "tiers": dict(manager.stats.counts),
+        "audit_ok": audit.ok,
+        "wall": wall,
+        "series": timer.series,
+    }
+    return _CACHE[key]
+
+
+def run_experiment() -> Experiment:
+    soaks = {name: soak(name) for name in scenario_names()}
+    soak_rows = []
+    for name, s in soaks.items():
+        r = s["report"]
+        tiers = r.chaos.stats.counts
+        soak_rows.append(
+            (
+                name,
+                r.stats.batches,
+                r.stats.edge_updates,
+                r.stats.max_live_edges,
+                r.suggested_H,
+                r.chaos.faults_fired,
+                tiers.get("rollback", 0),
+                tiers.get("checkpoint", 0),
+                tiers.get("rebuild", 0),
+                s["peak_kb"],
+                "GREEN" if r.ok else "RED",
+            )
+        )
+    soak_table = render_table(
+        ["scenario", "batches", "edges", "max live", "H hint", "faults",
+         "t1", "t2", "t3", "peak KB", "verdict"],
+        soak_rows,
+    )
+
+    small, large = out_of_core(OOC_SMALL), out_of_core(OOC_LARGE)
+    ooc_rows = []
+    for r in (small, large):
+        ooc_rows.append(
+            (
+                r["edge_updates"],
+                r["batches"],
+                r["max_live"],
+                r["spill_peak_kb"],
+                r["scan_peak_kb"],
+                r["replay_peak_kb"],
+                r["ru_maxrss_kb"],
+                r["faults_fired"],
+                r["tiers"].get("rollback", 0) + r["tiers"].get("checkpoint", 0)
+                + r["tiers"].get("rebuild", 0),
+                "GREEN" if r["audit_ok"] else "RED",
+                f"{r['wall']:.1f}s",
+            )
+        )
+    ooc_table = render_table(
+        ["edge updates", "batches", "max live", "spill KB", "scan KB",
+         "replay KB", "ru_maxrss KB", "faults", "recoveries", "audit", "wall"],
+        ooc_rows,
+    )
+
+    growth = large["edge_updates"] / small["edge_updates"]
+    mem_ratio = large["replay_peak_kb"] / max(1, small["replay_peak_kb"])
+    write_bench(
+        "e23_adversarial_scale",
+        large["series"],
+        extra={
+            "soak_scale": SOAK_SCALE,
+            "scenarios": {
+                name: {
+                    "verdict": "GREEN" if s["report"].ok else "RED",
+                    "peak_rss_kb": s["peak_kb"],
+                    "faults_fired": s["report"].chaos.faults_fired,
+                    "recovery_tiers": {
+                        tier: s["report"].chaos.stats.counts.get(tier, 0)
+                        for tier in RECOVERY_TIERS
+                    },
+                }
+                for name, s in soaks.items()
+            },
+            "out_of_core": {
+                str(r["edge_updates"]): {
+                    "max_live_edges": r["max_live"],
+                    "replay_peak_kb": r["replay_peak_kb"],
+                    "ru_maxrss_kb": r["ru_maxrss_kb"],
+                    "faults_fired": r["faults_fired"],
+                    "recovery_tiers": r["tiers"],
+                    "wall_seconds": r["wall"],
+                }
+                for r in (small, large)
+            },
+        },
+    )
+    return Experiment(
+        exp_id="E23",
+        title="adversarial scenarios at scale — soak verdicts and out-of-core memory",
+        claim=(
+            "the worst-case structures survive hardness-informed adversaries "
+            "(wrong height hints, coreness-threshold oscillation, skew flips, "
+            "sliding-window churn) under fault injection and differential "
+            "replay, and a 10^6-edge-update windowed stream processes "
+            "out-of-core in memory bounded by the live window, not the "
+            "stream length"
+        ),
+        table=soak_table + "\n\n" + ooc_table,
+        conclusion=(
+            f"every catalog adversary comes back GREEN through both the "
+            f"chaos trials and the five-config differential panel at "
+            f"{SOAK_SCALE} scale (top table) — including hint-misestimation, "
+            f"whose BALANCED(H) runs at a deliberately wrong hint and "
+            f"degrades in cost, never correctness.  Out-of-core (bottom "
+            f"table), the sliding window's live set stays at "
+            f"{large['max_live']} edges while the stream grows to "
+            f"{large['edge_updates']} updates: a {growth:.0f}x longer "
+            f"stream costs only {mem_ratio:.2f}x the replay's peak traced "
+            f"memory, all {large['faults_fired']} injected faults were "
+            f"absorbed by tiered recovery, and the final orientation audit "
+            f"is green against the ground-truth graph."
+        ),
+    )
+
+
+# -- CI gates -----------------------------------------------------------------
+
+
+def test_e23_all_scenarios_green():
+    for name in scenario_names():
+        report = soak(name)["report"]
+        assert report.ok, report.render()
+
+
+def test_e23_chaos_faults_actually_fired():
+    assert sum(soak(n)["report"].chaos.faults_fired for n in scenario_names()) > 0
+
+
+def test_e23_out_of_core_window_bound():
+    r = out_of_core(OOC_SMALL)
+    params = SCALES["large"]
+    assert r["max_live"] <= params.window * params.batch_size
+
+
+def test_e23_out_of_core_sublinear_memory():
+    small, large = out_of_core(OOC_SMALL), out_of_core(OOC_LARGE)
+    growth = large["edge_updates"] / small["edge_updates"]
+    assert growth >= 10
+    # 10x the stream must cost well under 10x the memory (roughly flat)
+    assert large["replay_peak_kb"] < 3 * max(1, small["replay_peak_kb"])
+    assert large["scan_peak_kb"] < 3 * max(1, small["scan_peak_kb"])
+
+
+def test_e23_out_of_core_faults_recovered():
+    r = out_of_core(OOC_LARGE)
+    assert r["faults_fired"] > 0
+    assert r["audit_ok"]
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

@@ -11,6 +11,9 @@ Core subcommands::
     repro verify   --trace trace.txt --deep-every 8
     repro verify   diff --batches 200 --deep-every 25
     repro verify   --replay repro.json
+    repro scenarios --scale ci --soak both
+    repro scenarios --scenario sliding-window-churn --scale large \\
+                    --trace-out window.trace
 
 ``generate`` writes a batch-update trace (see repro.graphs.tracefile);
 ``run`` replays it through the batch-dynamic structures and reports the
@@ -24,7 +27,16 @@ injection (docs/ROBUSTNESS.md) and reports which recovery tiers fired;
 ``verify`` audits a replay against the exact oracles, ``verify diff``
 replays one stream through every execution configuration and diffs
 per-batch outputs, and ``verify --replay`` re-runs a minimized repro
-artifact (docs/VERIFICATION.md).
+artifact (docs/VERIFICATION.md); ``scenarios`` drives the adversarial
+scenario engine — soak a hardness-informed workload through chaos and/or
+the differential panel, or spill it out-of-core to a trace file
+(docs/SCENARIOS.md).
+
+``run`` streams its trace through the bounded-memory
+:func:`~repro.graphs.tracefile.iter_trace` reader (one upfront
+:func:`~repro.graphs.tracefile.scan_trace` validation pass), so replaying
+a multi-million-edge trace holds only the live structures in memory —
+never the op list.
 """
 
 from __future__ import annotations
@@ -37,7 +49,13 @@ from .baselines import core_numbers, exact_density, greedy_peeling_density
 from .config import Constants, ExecConfig
 from .core import CorenessDecomposition, DensityEstimator
 from .graphs import DynamicGraph, generators, streams
-from .graphs.tracefile import read_trace, validate_trace, write_trace
+from .graphs.tracefile import (
+    iter_trace,
+    read_trace,
+    scan_trace,
+    validate_trace,
+    write_trace,
+)
 from .instrument import BatchTimer, CostModel, render_table
 from .instrument import trace as _trace
 from .instrument.export import (
@@ -93,6 +111,8 @@ def _exec_config(args) -> ExecConfig:
     return ExecConfig(
         workers=getattr(args, "workers", 1),
         rung_skip=bool(getattr(args, "rung_skip", False)),
+        task_timeout=getattr(args, "task_timeout", None),
+        task_retries=getattr(args, "task_retries", 2),
     )
 
 
@@ -126,8 +146,16 @@ def _build_structures(
     return structures
 
 
-def _replay(ops, structures, timer: BatchTimer, progress: int = 0) -> None:
-    """Drive every batch through every structure (phase-span instrumented)."""
+def _replay(
+    ops, structures, timer: BatchTimer, progress: int = 0, total: Optional[int] = None
+) -> None:
+    """Drive every batch through every structure (phase-span instrumented).
+
+    ``ops`` may be any iterable — including a lazy
+    :func:`~repro.graphs.tracefile.iter_trace` generator — so pass
+    ``total`` (the known batch count) when progress events should report
+    it without forcing materialisation.
+    """
     for i, op in enumerate(ops):
         with _trace.span("batch", detail={"index": i, "kind": op.kind, "edges": op.size}):
             with timer.batch(op.kind, op.size):
@@ -141,7 +169,7 @@ def _replay(ops, structures, timer: BatchTimer, progress: int = 0) -> None:
             _trace.event(
                 "progress",
                 batch=i + 1,
-                batches=len(ops),
+                batches=total if total is not None else len(ops),
                 work=timer.cm.work,
                 depth=timer.cm.depth,
             )
@@ -163,9 +191,14 @@ def _progress_sink(stream=None):
 
 
 def cmd_run(args) -> int:
-    """Replay a trace through the maintained structures; print metrics."""
-    ops = read_trace(args.trace)
-    n = max(validate_trace(ops), 2)
+    """Replay a trace through the maintained structures; print metrics.
+
+    Out-of-core: one :func:`scan_trace` pass validates the file and sizes
+    the vertex universe, then the replay itself drains a lazy
+    :func:`iter_trace` generator — the op list never materialises.
+    """
+    info = scan_trace(args.trace)
+    n = max(info.vertices, 2)
     cm = CostModel()
     REGISTRY.clear()
     timer = BatchTimer(cm, registry=REGISTRY)
@@ -186,14 +219,20 @@ def cmd_run(args) -> int:
             tracer = Tracer(cm, sinks=sinks)
             try:
                 with _trace.tracing(tracer):
-                    _replay(ops, structures, timer, progress=progress)
+                    _replay(
+                        iter_trace(args.trace),
+                        structures,
+                        timer,
+                        progress=progress,
+                        total=info.batches,
+                    )
             finally:
                 if jsonl is not None:
                     jsonl.close()
             if telemetry:
                 print(f"wrote {jsonl.events_written} telemetry events to {telemetry}")
         else:
-            _replay(ops, structures, timer)
+            _replay(iter_trace(args.trace), structures, timer)
     finally:
         executor.close()
 
@@ -351,6 +390,71 @@ def cmd_chaos(args) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def cmd_scenarios(args) -> int:
+    """Drive the adversarial scenario engine (docs/SCENARIOS.md).
+
+    Default: soak the catalog (or ``--scenario NAME``) through chaos
+    fault injection and/or the five-config differential panel at the
+    chosen ``--scale``; exit 0 iff every verdict is GREEN.
+    ``--trace-out PATH`` instead spills one scenario's stream to a
+    sealed trace file *out-of-core* — the stream is drained straight
+    through a :class:`~repro.graphs.tracefile.TraceWriter`, so even the
+    ``large`` (10^6 edge-update) scale never materialises in memory.
+    """
+    from .graphs.tracefile import write_stream
+    from .scenarios import (
+        get_scenario,
+        params_for,
+        render_scenario_summary,
+        scenario_names,
+        scenario_stream,
+        soak_scenario,
+    )
+
+    if args.list:
+        rows = [
+            [name, "yes" if get_scenario(name).bounded_window else "no",
+             get_scenario(name).summary]
+            for name in scenario_names()
+        ]
+        print(render_table(["scenario", "windowed", "summary"], rows))
+        return 0
+    names = [args.scenario] if args.scenario else scenario_names()
+    if args.trace_out:
+        if len(names) != 1:
+            raise SystemExit("scenarios: --trace-out requires an explicit --scenario")
+        name = names[0]
+        params = params_for(args.scale, seed=args.seed)
+        with _trace.span("scenario.spill", scenario=name):
+            write_stream(scenario_stream(name, params), args.trace_out)
+        info = scan_trace(args.trace_out, strict=True)
+        print(
+            f"spilled {name} @ {args.scale} to {args.trace_out}: "
+            f"{info.batches} batches, {info.edge_updates} edge updates, "
+            f"max {info.max_live_edges} live edges, {info.vertices} vertices"
+        )
+        return 0
+    reports = []
+    for name in names:
+        report = soak_scenario(
+            name,
+            scale=args.scale,
+            seed=args.seed,
+            mode=args.soak,
+            trials=args.trials,
+            faults_per_trial=args.faults,
+            deep_every=args.deep_every,
+            constants=CONSTANTS,
+            minimize=args.minimize,
+            artifact_dir=args.artifact_dir,
+        )
+        reports.append(report)
+        print(report.render())
+        print()
+    print(render_scenario_summary(reports))
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_lint(args) -> int:
     """Run reprolint (see docs/STATIC_ANALYSIS.md) over the given paths.
 
@@ -490,6 +594,12 @@ def _add_exec_args(sub: argparse.ArgumentParser) -> None:
                      help="rung-sweep process count (1 = serial, the default)")
     sub.add_argument("--rung-skip", action="store_true",
                      help="defer provably-unaffected ladder rungs (perf opt)")
+    sub.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
+                     help="treat a rung-task worker as hung after SEC seconds "
+                          "(retried, then degraded to in-process; default: wait)")
+    sub.add_argument("--task-retries", type=int, default=2, metavar="K",
+                     help="pool-rebuild retry rounds before a failing rung "
+                          "task degrades to in-process execution")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -612,6 +722,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write minimized repro artifacts under DIR "
                         "(implies --minimize)")
     c.set_defaults(func=cmd_chaos)
+
+    sc = sub.add_parser(
+        "scenarios",
+        help="soak or spill the adversarial scenario catalog (docs/SCENARIOS.md)",
+    )
+    sc.add_argument("--list", action="store_true",
+                    help="list the scenario catalog and exit")
+    sc.add_argument("--scenario", metavar="NAME",
+                    help="one scenario (default: the whole catalog)")
+    sc.add_argument("--scale", default="ci",
+                    choices=["tiny", "ci", "bench", "large"],
+                    help="named parameter preset (large = 10^6 edge updates)")
+    sc.add_argument("--seed", type=int, default=0)
+    sc.add_argument("--soak", default="both", choices=["chaos", "diff", "both"],
+                    help="which verdict machinery to run")
+    sc.add_argument("--trials", type=int, default=3,
+                    help="chaos fault-injection trials per scenario")
+    sc.add_argument("--faults", type=int, default=2,
+                    help="planned fault injections per chaos trial")
+    sc.add_argument("--deep-every", type=int, default=0,
+                    help="exact-oracle deep audit every N diff batches")
+    sc.add_argument("--minimize", action="store_true",
+                    help="ddmin-shrink every failing chaos trial's stream")
+    sc.add_argument("--artifact-dir", metavar="DIR",
+                    help="write minimized repro artifacts under DIR "
+                         "(implies --minimize)")
+    sc.add_argument("--trace-out", metavar="PATH",
+                    help="spill the scenario stream out-of-core to a sealed "
+                         "trace file instead of soaking")
+    sc.set_defaults(func=cmd_scenarios)
 
     lint = sub.add_parser(
         "lint",

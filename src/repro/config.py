@@ -106,10 +106,21 @@ class ExecConfig:
         Process count for the rung sweep; ``<= 1`` means serial.
     rung_skip:
         Enable rung-relevance filtering (degree-bound skip certificates).
+    task_timeout:
+        Seconds to wait for one rung task's worker result before treating
+        the worker as hung (``None`` = wait forever, the historical
+        behaviour).  Timed-out tasks are retried and ultimately degrade
+        to in-process execution — answers never change, only where the
+        work runs (docs/ROBUSTNESS.md).
+    task_retries:
+        Pool-rebuild retry rounds before a failing task degrades to
+        in-process execution.
     """
 
     workers: int = 1
     rung_skip: bool = False
+    task_timeout: float | None = None
+    task_retries: int = 2
 
     def make_executor(self):
         """Build the executor this configuration describes.
@@ -121,7 +132,11 @@ class ExecConfig:
         from .pram.executor import ProcessExecutor, SerialExecutor
 
         if self.workers > 1:
-            return ProcessExecutor(max_workers=self.workers)
+            return ProcessExecutor(
+                max_workers=self.workers,
+                task_timeout=self.task_timeout,
+                task_retries=self.task_retries,
+            )
         return SerialExecutor()
 
 

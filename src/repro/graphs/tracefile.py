@@ -21,13 +21,30 @@ hand-written traces; ``strict=True`` demands it — the mode the recovery
 manager uses for its write-ahead log, where a torn tail must never be
 replayed silently.  :class:`TraceWriter` appends batches incrementally
 (flushing each line, WAL-style) and writes the footer on ``close``.
+
+Two reading disciplines:
+
+* :func:`read_trace` materialises the whole stream (CRC verified against
+  the full body *before* any batch is returned) — the all-or-nothing
+  mode for small traces and repro artifacts.
+* :func:`iter_trace` is the out-of-core path: the file is consumed in
+  bounded byte chunks, the CRC is folded incrementally per chunk, and
+  batches are yielded as they parse.  Memory stays O(chunk + one batch)
+  no matter how long the trace is — the 10^6-edge scenario streams of
+  docs/SCENARIOS.md never exist in memory at once.  Corruption is
+  reported at the footer (truncation in ``strict`` mode at exhaustion),
+  so consumers that must not observe a torn prefix either apply batches
+  through a transactional layer (the recovery manager) or use
+  :func:`read_trace`.  :func:`scan_trace` is the matching streaming
+  validator: one bounded-memory pass returning the stream's shape.
 """
 
 from __future__ import annotations
 
 import pathlib
 import zlib
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import BatchError, TraceError
 from .graph import norm_edge
@@ -103,6 +120,36 @@ class TraceWriter:
         self.close()
 
 
+def _parse_footer_line(stripped: str, path: object) -> tuple[int, int]:
+    """Parse ``(batches, crc)`` out of one footer line (already stripped)."""
+    fields = dict(part.split("=", 1) for part in stripped.split() if "=" in part)
+    try:
+        return int(fields["batches"]), int(fields["crc32"], 16)
+    except (KeyError, ValueError) as exc:
+        raise TraceError(f"{path}: malformed end-of-trace footer") from exc
+
+
+def _parse_body_line(line: str, path: object, lineno: int) -> Optional[BatchOp]:
+    """Parse one body line into a batch (None for comments/blanks)."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split()
+    kind_letter, numbers = parts[0].upper(), parts[1:]
+    if kind_letter not in ("I", "D"):
+        raise BatchError(f"{path}:{lineno}: unknown batch kind {parts[0]!r}")
+    if len(numbers) % 2 != 0 or not numbers:
+        raise BatchError(f"{path}:{lineno}: odd number of endpoints")
+    try:
+        values = [int(x) for x in numbers]
+    except ValueError as exc:
+        raise BatchError(f"{path}:{lineno}: non-integer endpoint") from exc
+    edges = tuple(
+        norm_edge(values[i], values[i + 1]) for i in range(0, len(values), 2)
+    )
+    return BatchOp("insert" if kind_letter == "I" else "delete", edges)
+
+
 def _split_footer(text: str, path: object) -> tuple[str, Optional[tuple[int, int]]]:
     """Split raw trace text into (body, footer-fields or None)."""
     lines = text.splitlines(keepends=True)
@@ -111,15 +158,7 @@ def _split_footer(text: str, path: object) -> tuple[str, Optional[tuple[int, int
             continue
         if any(line.strip() for line in lines[i + 1 :]):
             raise TraceError(f"{path}: content after end-of-trace footer")
-        fields = dict(
-            part.split("=", 1) for part in raw.strip().split() if "=" in part
-        )
-        try:
-            batches = int(fields["batches"])
-            crc = int(fields["crc32"], 16)
-        except (KeyError, ValueError) as exc:
-            raise TraceError(f"{path}: malformed end-of-trace footer") from exc
-        return "".join(lines[:i]), (batches, crc)
+        return "".join(lines[:i]), _parse_footer_line(raw.strip(), path)
     return text, None
 
 
@@ -148,29 +187,161 @@ def read_trace(path: str | pathlib.Path, strict: bool = False) -> list[BatchOp]:
             )
     ops: list[BatchOp] = []
     for lineno, raw in enumerate(body.splitlines(), 1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split()
-        kind_letter, numbers = parts[0].upper(), parts[1:]
-        if kind_letter not in ("I", "D"):
-            raise BatchError(f"{path}:{lineno}: unknown batch kind {parts[0]!r}")
-        if len(numbers) % 2 != 0 or not numbers:
-            raise BatchError(f"{path}:{lineno}: odd number of endpoints")
-        try:
-            values = [int(x) for x in numbers]
-        except ValueError as exc:
-            raise BatchError(f"{path}:{lineno}: non-integer endpoint") from exc
-        edges = tuple(
-            norm_edge(values[i], values[i + 1]) for i in range(0, len(values), 2)
-        )
-        ops.append(BatchOp("insert" if kind_letter == "I" else "delete", edges))
+        op = _parse_body_line(raw, path, lineno)
+        if op is not None:
+            ops.append(op)
     if sealed is not None and len(ops) != sealed[0]:
         raise TraceError(
             f"{path}: footer promises {sealed[0]} batches but the body "
             f"holds {len(ops)} — the trace is truncated or corrupt"
         )
     return ops
+
+
+#: Default read-chunk size of :func:`iter_trace` (64 KiB keeps the reader
+#: comfortably cache-resident while amortising syscalls over ~1k lines).
+DEFAULT_CHUNK_BYTES = 1 << 16
+
+
+def iter_trace(
+    path: str | pathlib.Path,
+    strict: bool = False,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Iterator[BatchOp]:
+    """Stream a trace file batch by batch in bounded memory.
+
+    The file is read in ``chunk_bytes``-sized chunks; the body CRC-32 is
+    folded incrementally as each chunk's lines are consumed and checked
+    against the footer when (and if) it is reached, along with the batch
+    count.  ``strict=True`` raises :class:`~repro.errors.TraceError` on
+    exhaustion if no footer was seen (a torn write-ahead log).
+
+    Unlike :func:`read_trace`, batches are yielded *before* the footer is
+    reached, so a corrupt tail is reported only after the intact prefix
+    has been consumed.  Callers that must never observe a torn prefix
+    should apply batches transactionally (the recovery manager does) or
+    fall back to :func:`read_trace`.
+    """
+    if chunk_bytes < 1:
+        raise TraceError(f"{path}: chunk_bytes must be >= 1, got {chunk_bytes}")
+    crc = 0
+    count = 0
+    lineno = 0
+    sealed: Optional[tuple[int, int]] = None
+    with open(pathlib.Path(path), "rb") as fh:
+        pending = b""
+        eof = False
+        while not eof:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                eof = True
+            pending += chunk
+            while pending:
+                nl = pending.find(b"\n")
+                if nl < 0:
+                    if not eof:
+                        break  # partial line; wait for the next chunk
+                    raw, pending = pending, b""
+                else:
+                    raw, pending = pending[: nl + 1], pending[nl + 1 :]
+                lineno += 1
+                text = raw.decode()
+                stripped = text.strip()
+                if sealed is not None:
+                    if stripped:
+                        raise TraceError(
+                            f"{path}: content after end-of-trace footer"
+                        )
+                    continue
+                if stripped.startswith(_FOOTER_PREFIX.strip()):
+                    sealed = _parse_footer_line(stripped, path)
+                    expected_batches, expected_crc = sealed
+                    if (crc & 0xFFFFFFFF) != expected_crc:
+                        raise TraceError(
+                            f"{path}: body CRC-32 {crc & 0xFFFFFFFF:08x} does "
+                            f"not match the footer's {expected_crc:08x} — the "
+                            "trace is corrupt"
+                        )
+                    if count != expected_batches:
+                        raise TraceError(
+                            f"{path}: footer promises {expected_batches} "
+                            f"batches but the body holds {count} — the trace "
+                            "is truncated or corrupt"
+                        )
+                    continue
+                crc = zlib.crc32(raw, crc)
+                op = _parse_body_line(text, path, lineno)
+                if op is not None:
+                    count += 1
+                    yield op
+    if sealed is None and strict:
+        raise TraceError(
+            f"{path}: missing end-of-trace footer — the trace was never "
+            "sealed (torn write-ahead log?) or predates the footer format"
+        )
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """Shape of a trace, computed by one streaming :func:`scan_trace` pass."""
+
+    vertices: int  # 1 + the highest vertex id mentioned (0 if none)
+    batches: int
+    edge_updates: int
+    max_live_edges: int  # high-water mark of the live-edge set
+
+
+def scan_trace(path: str | pathlib.Path, strict: bool = False) -> TraceInfo:
+    """Validate a trace file in one bounded-memory streaming pass.
+
+    The same replayability checks as :func:`validate_trace` (inserts
+    absent, deletes present, no in-batch duplicates) run against a live
+    set whose size tracks the trace's actual live-edge high-water mark —
+    for windowed streams this stays bounded no matter how long the trace
+    is.  Returns the stream's shape for callers (``repro run``) that
+    previously materialised the whole trace just to size the structures.
+    """
+    live: set = set()
+    top = 0
+    batches = 0
+    updates = 0
+    high = 0
+    for i, op in enumerate(iter_trace(path, strict=strict)):
+        seen_in_batch = set()
+        for e in op.edges:
+            if e in seen_in_batch:
+                raise BatchError(f"batch {i}: duplicate edge {e}")
+            seen_in_batch.add(e)
+            top = max(top, e[1] + 1)
+            if op.kind == "insert":
+                if e in live:
+                    raise BatchError(f"batch {i}: inserting live edge {e}")
+                live.add(e)
+            else:
+                if e not in live:
+                    raise BatchError(f"batch {i}: deleting absent edge {e}")
+                live.remove(e)
+        batches += 1
+        updates += op.size
+        high = max(high, len(live))
+    return TraceInfo(
+        vertices=top, batches=batches, edge_updates=updates, max_live_edges=high
+    )
+
+
+def write_stream(
+    ops: Iterable[BatchOp], path: str | pathlib.Path
+) -> "TraceWriter":
+    """Drain a (possibly huge) stream into a sealed trace, out-of-core.
+
+    Unlike :func:`write_trace` this never materialises the stream: each
+    batch is formatted, written and dropped.  Returns the closed writer
+    so callers can read ``batches`` off it.
+    """
+    with TraceWriter(path) as writer:
+        for op in ops:
+            writer.append(op)
+    return writer
 
 
 def validate_trace(ops: Sequence[BatchOp]) -> int:

@@ -200,6 +200,63 @@ class RecoveryStats:
         return render_table(["outcome", "batches"], rows)
 
 
+# -- adversarial-scenario accounting ------------------------------------------
+
+
+@dataclass
+class ScenarioStats:
+    """Workload accounting for one adversarial scenario stream.
+
+    Fed one batch at a time by :meth:`observe` while a scenario stream is
+    drained (soaked, or spilled to a tracefile), it tracks the stream's
+    shape — including the live-edge high-water mark that certifies the
+    out-of-core contract of windowed scenarios — and mirrors everything
+    into the process-wide registry as ``repro_scenario_*`` series
+    labelled by scenario name.
+    """
+
+    scenario: str
+    batches: int = 0
+    edge_updates: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    live_edges: int = 0
+    max_live_edges: int = 0
+
+    def observe(self, kind: str, size: int) -> None:
+        """Account one emitted batch of the stream."""
+        self.batches += 1
+        self.edge_updates += size
+        if kind == "insert":
+            self.inserts += 1
+            self.live_edges += size
+        else:
+            self.deletes += 1
+            self.live_edges -= size
+        self.max_live_edges = max(self.max_live_edges, self.live_edges)
+        reg = _telemetry.REGISTRY
+        reg.counter("repro_scenario_batches_total", scenario=self.scenario).inc()
+        reg.counter(
+            "repro_scenario_edge_updates_total", scenario=self.scenario
+        ).inc(size)
+        reg.gauge("repro_scenario_live_edges", scenario=self.scenario).set(
+            self.live_edges
+        )
+
+    def render(self) -> str:
+        return render_table(
+            ["scenario", "batches", "edge updates", "inserts", "deletes", "max live"],
+            [[
+                self.scenario,
+                self.batches,
+                self.edge_updates,
+                self.inserts,
+                self.deletes,
+                self.max_live_edges,
+            ]],
+        )
+
+
 # -- plain-text rendering ----------------------------------------------------
 
 

@@ -54,6 +54,9 @@ SPAN_TAXONOMY: dict[str, str] = {
     "verify.config": "one config's share of a differential batch (attr: config)",
     "verify.audit": "deep exact-oracle audit of coreness/density bands",
     "verify.minimize": "ddmin shrinking of a failing stream",
+    "scenario.stream": "drain of one adversarial scenario stream (attr: scenario)",
+    "scenario.soak": "chaos/diff soak of one scenario (attr: scenario)",
+    "scenario.spill": "out-of-core spill of a scenario stream to a tracefile",
 }
 
 

@@ -40,10 +40,16 @@ from __future__ import annotations
 import io
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
+from ..instrument import telemetry as _telemetry
 from ..instrument import trace as _trace
 from ..instrument.telemetry import SpanNode, Tracer, merge_span_children
 from ..instrument.work_depth import CostModel
@@ -256,15 +262,49 @@ class ProcessExecutor:
     docs/PERFORMANCE.md).  The pool is created lazily and reused across
     batches; call :meth:`close` (or use the instance as a context manager)
     to release it.
+
+    Fault tolerance: a worker that dies (``BrokenProcessPool``), hangs
+    past ``task_timeout`` seconds, or trips an OS-level error does not
+    sink the sweep.  The suspect pool is discarded (hung workers
+    included), the failed tasks are retried on a fresh pool up to
+    ``task_retries`` rounds, and stragglers finally *degrade* to
+    in-process execution of the exact same worker payload — the
+    copy/round-trip semantics are preserved, so the merged cost model and
+    telemetry stay bit-identical to the healthy path (``repro profile
+    --check --workers N`` holds either way).  Degradations and retries
+    are published to the process-wide metrics registry
+    (``repro_executor_retries_total`` / ``repro_executor_degraded_total``),
+    never to the replay cost model — fault handling must not perturb the
+    answer-bearing accounting.  Task-level exceptions (a bug in a
+    structure method) are not retried; they propagate on first failure.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    #: infrastructure failures worth a pool rebuild + retry; anything else
+    #: raised out of a worker is a task bug and propagates immediately.
+    RETRYABLE: tuple[type[BaseException], ...] = (
+        BrokenExecutor,
+        FuturesTimeout,
+        OSError,
+        CancelledError,
+    )
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        task_timeout: float | None = None,
+        task_retries: int = 2,
+    ) -> None:
         self.max_workers = max_workers or os.cpu_count() or 1
+        self.task_timeout = task_timeout
+        self.task_retries = max(0, task_retries)
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # pool handles cannot travel; a pickled executor rebuilds lazily.
     def __reduce__(self):
-        return (ProcessExecutor, (self.max_workers,))
+        return (
+            ProcessExecutor,
+            (self.max_workers, self.task_timeout, self.task_retries),
+        )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -276,6 +316,47 @@ class ProcessExecutor:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def _discard_pool(self) -> None:
+        """Drop a suspect pool without waiting on its (possibly hung) workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _run_payloads(
+        self, payloads: Sequence[tuple[bytes, str, tuple, bool]]
+    ) -> list[tuple[bytes, WorkerDelta]]:
+        """Fan payloads out to workers; survive dead or hung workers.
+
+        Each retry round resubmits only the still-failing payloads on a
+        fresh pool; after ``task_retries`` rounds the stragglers run
+        in-process via the same :func:`run_task_worker` entry point, so a
+        degraded sweep still returns worker-identical results.
+        """
+        results: list[Optional[tuple[bytes, WorkerDelta]]] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        for round_no in range(self.task_retries + 1):
+            pool = self._ensure_pool()
+            futures = {i: pool.submit(run_task_worker, payloads[i]) for i in pending}
+            failed: list[int] = []
+            for i in pending:
+                try:
+                    results[i] = futures[i].result(timeout=self.task_timeout)
+                except self.RETRYABLE:
+                    failed.append(i)
+            if not failed:
+                return results  # type: ignore[return-value]
+            # a worker died or hung: the whole pool is suspect — discard it
+            # (without waiting) and retry the failures on a fresh one.
+            self._discard_pool()
+            pending = failed
+            _telemetry.REGISTRY.counter("repro_executor_retries_total").inc(
+                len(failed)
+            )
+        _telemetry.REGISTRY.counter("repro_executor_degraded_total").inc(len(pending))
+        for i in pending:
+            results[i] = run_task_worker(payloads[i])
+        return results  # type: ignore[return-value]
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -310,7 +391,7 @@ class ProcessExecutor:
                 # the pool path so behaviour does not depend on sizing.
                 results = [run_task_worker(p) for p in payloads]
             else:
-                results = list(self._ensure_pool().map(run_task_worker, payloads))
+                results = self._run_payloads(payloads)
             with cm.parallel() as region:
                 for task, (blob, delta) in zip(tasks, results):
                     replacement = load_structure(blob, cm)

@@ -94,16 +94,31 @@ def _random_edges(rng: random.Random, n: int, count: int) -> list[tuple[int, int
     return sorted(edges)
 
 
-def _make_stream(
+def make_stream(
     kind: str, n: int, batches: int, batch_size: int, seed: int
 ) -> list[BatchOp]:
+    """Build one trial stream: a legacy shape or any registered scenario.
+
+    ``kind`` is one of the uniform-random legacy shapes
+    (:data:`_STREAM_KINDS`) or a name from the adversarial scenario
+    catalog (:mod:`repro.scenarios.registry`) — so every soak entry
+    point (chaos trials, E20, ``repro scenarios``) draws workloads from
+    one dispatcher.  Deterministic under ``seed``.
+    """
     rng = random.Random(seed)
     if kind == "churn":
         return churn(n, batches, batch_size, seed=rng)
-    edges = _random_edges(rng, n, max(1, (batches * batch_size) // 2))
-    if kind == "insert_then_delete":
-        return insert_then_delete(edges, batch_size, seed=rng)
-    return sliding_window(edges, window=2, batch_size=batch_size)
+    if kind in ("insert_then_delete", "sliding_window"):
+        edges = _random_edges(rng, n, max(1, (batches * batch_size) // 2))
+        if kind == "insert_then_delete":
+            return insert_then_delete(edges, batch_size, seed=rng)
+        return sliding_window(edges, window=2, batch_size=batch_size)
+    from ..scenarios.registry import ScenarioParams, scenario_stream
+
+    params = ScenarioParams(
+        n=max(n, 8), batches=batches, batch_size=batch_size, seed=seed
+    )
+    return list(scenario_stream(kind, params))
 
 
 def _make_structure(
@@ -219,23 +234,28 @@ def chaos_soak(
     deep_audit: bool = True,
     minimize: bool = False,
     artifact_dir: Optional[str | pathlib.Path] = None,
+    stream_kinds: Optional[Sequence[str]] = None,
 ) -> ChaosReport:
     """Run ``trials`` seeded fault-injection trials; fully deterministic.
 
-    Stream shapes rotate per trial through churn / insert-then-delete /
-    sliding-window so inserts, deletes and mixed workloads all see
-    faults.  ``deep_audit=False`` skips the exact-oracle band audits
-    (the per-batch health checks and replay audit still run).
+    Stream shapes rotate per trial through ``stream_kinds`` — by default
+    churn / insert-then-delete / sliding-window, so inserts, deletes and
+    mixed workloads all see faults; any registered adversarial scenario
+    name (:mod:`repro.scenarios`) can stand in, which is how the
+    ``repro scenarios`` soak reuses this harness verbatim.
+    ``deep_audit=False`` skips the exact-oracle band audits (the
+    per-batch health checks and replay audit still run).
     ``minimize=True`` shrinks every failing trial's stream to a minimal
     repro; with ``artifact_dir`` each is written as a replayable artifact
     and listed in ``report.repros``.
     """
     report = ChaosReport(structure=structure)
     site_pool = tuple(sites) if sites is not None else tuple(sorted(SITES))
+    kinds = tuple(stream_kinds) if stream_kinds else _STREAM_KINDS
     for trial in range(trials):
         trial_seed = seed * 7919 + trial
-        kind = _STREAM_KINDS[trial % len(_STREAM_KINDS)]
-        ops = _make_stream(kind, n, batches, batch_size, trial_seed)
+        kind = kinds[trial % len(kinds)]
+        ops = make_stream(kind, n, batches, batch_size, trial_seed)
         injector_seed = trial_seed ^ 0x5EED
         injector = FaultInjector.plan(
             seed=injector_seed, count=faults_per_trial, sites=site_pool

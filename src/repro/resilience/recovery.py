@@ -43,7 +43,7 @@ from ..verify.audits import AuditReport, audit_orientation
 from ..errors import BatchError, RecoveryError
 from ..graphs.graph import DynamicGraph, normalize_batch
 from ..graphs.streams import BatchOp
-from ..graphs.tracefile import TraceWriter, read_trace
+from ..graphs.tracefile import TraceWriter, iter_trace
 from ..instrument import trace as _trace
 from ..instrument.metrics import RecoveryStats
 from . import checkpoint as ckpt
@@ -65,11 +65,16 @@ class RecoveryManager:
         wal_path: Optional[str | pathlib.Path] = None,
         graph: Optional[DynamicGraph] = None,
         history: Optional[list[BatchOp]] = None,
+        bounded_history: bool = False,
     ) -> None:
         self.structure = structure
         self.cm = structure.cm
         self.graph = graph if graph is not None else DynamicGraph(0)
         self.history: list[BatchOp] = list(history or [])
+        #: total batches ever committed; ``>= len(self.history)`` once a
+        #: bounded-history manager has trimmed (positions stay absolute).
+        self.applied = len(self.history)
+        self.bounded_history = bounded_history
         self.checkpoint_every = max(1, checkpoint_every)
         self.audit_every = audit_every
         self.max_recovery_rounds = max(1, max_recovery_rounds)
@@ -78,7 +83,7 @@ class RecoveryManager:
         self.stats = RecoveryStats()
         self.writer = TraceWriter(wal_path) if wal_path is not None else None
         self._ckpt = capture(structure)
-        self._ckpt_pos = len(self.history)
+        self._ckpt_pos = self.applied
         if not self.healthy():
             raise BatchError(
                 "RecoveryManager: structure and ground-truth graph disagree "
@@ -102,26 +107,33 @@ class RecoveryManager:
                 _trace.event(
                     "recovery.escalate",
                     tier="rollback",
-                    batch=len(self.history),
+                    batch=self.applied,
                     error=type(exc).__name__,
                 )
                 outcome = self._recover_and_retry(op, exc)
             self._commit(op)
-            if self.audit_every and len(self.history) % self.audit_every == 0:
+            if self.audit_every and self.applied % self.audit_every == 0:
                 if not self.healthy():
                     _trace.event(
                         "recovery.escalate",
                         tier="post-commit-audit",
-                        batch=len(self.history),
+                        batch=self.applied,
                     )
                     outcome = self._repair_in_place()
         self.stats.record(outcome)
-        _trace.event("recovery.outcome", outcome=outcome, batch=len(self.history))
+        _trace.event("recovery.outcome", outcome=outcome, batch=self.applied)
         if outcome != "ok":
             self.cm.count(f"recovery_{outcome}")
-        if len(self.history) - self._ckpt_pos >= self.checkpoint_every:
+        if self.applied - self._ckpt_pos >= self.checkpoint_every:
             self._ckpt = capture(self.structure)
-            self._ckpt_pos = len(self.history)
+            self._ckpt_pos = self.applied
+            if self.bounded_history:
+                # Tier 2 only ever replays the post-checkpoint suffix, so
+                # everything up to the checkpoint can be forgotten — this is
+                # what keeps out-of-core replays (E23) at window-sized memory.
+                # The trade-off: ``save()`` needs the full history for its
+                # WAL and refuses once trimmed.
+                self.history.clear()
         return outcome
 
     def close(self) -> None:
@@ -188,6 +200,7 @@ class RecoveryManager:
         else:
             self.graph.delete_batch(op.edges)
         self.history.append(op)
+        self.applied += 1
         if self.writer is not None:
             self.writer.append(op)
 
@@ -208,13 +221,13 @@ class RecoveryManager:
             # Tier 2: restore the last checkpoint and replay the suffix.
             deepest = "rebuild" if deepest == "rebuild" else "checkpoint"
             _trace.event(
-                "recovery.escalate", tier="checkpoint", batch=len(self.history)
+                "recovery.escalate", tier="checkpoint", batch=self.applied
             )
             if self._tier2_restore() and self._try(op) is None:
                 return deepest
             # Tier 3: rebuild from the ground truth.
             deepest = "rebuild"
-            _trace.event("recovery.escalate", tier="rebuild", batch=len(self.history))
+            _trace.event("recovery.escalate", tier="rebuild", batch=self.applied)
             try:
                 self._tier3_rebuild()
             except RecoveryError as exc:
@@ -245,7 +258,10 @@ class RecoveryManager:
         self.cm.count("recovery_tier2_replays")
         try:
             rollback(self.structure, self._ckpt)
-            for past in self.history[self._ckpt_pos :]:
+            # ``_ckpt_pos`` is absolute; the list may start later if a
+            # bounded-history manager trimmed the prefix.
+            start = self._ckpt_pos - (self.applied - len(self.history))
+            for past in self.history[max(0, start) :]:
                 self._apply_raw(past)
         except BaseException:
             return False
@@ -298,10 +314,16 @@ class RecoveryManager:
 
     def save(self, directory: str | pathlib.Path) -> None:
         """Persist a restartable image: full checkpoint + sealed trace log."""
+        if self.applied > len(self.history):
+            raise BatchError(
+                "bounded-history manager has trimmed its committed prefix "
+                "and cannot write a full WAL — save() requires "
+                "bounded_history=False"
+            )
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         payload = {
-            "position": len(self.history),
+            "position": self.applied,
             "structure": ckpt.checkpoint(self.structure),
         }
         (directory / self.CHECKPOINT_NAME).write_text(json.dumps(payload))
@@ -325,22 +347,37 @@ class RecoveryManager:
         if not isinstance(payload, dict) or "position" not in payload:
             raise BatchError("checkpoint image missing 'position'")
         position = int(payload["position"])
-        ops = read_trace(directory / cls.WAL_NAME, strict=True)
-        if not (0 <= position <= len(ops)):
+        if position < 0:
             raise BatchError(
-                f"checkpoint position {position} outside the {len(ops)}-batch "
-                "trace — checkpoint and WAL disagree"
+                f"checkpoint position {position} outside the trace — "
+                "checkpoint and WAL disagree"
             )
         structure = ckpt.restore_checkpoint(payload.get("structure"), cm=cm)
+        # Stream the WAL: the checkpoint prefix replays into the ground-truth
+        # graph only, the suffix through full recovery apply().  The op list
+        # never materialises — iter_trace verifies the seal incrementally —
+        # so restart memory is bounded by the live state, not the log length.
         graph = DynamicGraph(0)
-        for op in ops[:position]:
-            if op.kind == "insert":
-                graph.insert_batch(op.edges)
+        history: list[BatchOp] = []
+        manager: Optional["RecoveryManager"] = None
+        seen = 0
+        for op in iter_trace(directory / cls.WAL_NAME, strict=True):
+            if seen < position:
+                if op.kind == "insert":
+                    graph.insert_batch(op.edges)
+                else:
+                    graph.delete_batch(op.edges)
+                history.append(op)
             else:
-                graph.delete_batch(op.edges)
-        manager = cls(
-            structure, graph=graph, history=list(ops[:position]), **kwargs
-        )
-        for op in ops[position:]:
-            manager.apply(op)
+                if manager is None:
+                    manager = cls(structure, graph=graph, history=history, **kwargs)
+                manager.apply(op)
+            seen += 1
+        if seen < position:
+            raise BatchError(
+                f"checkpoint position {position} outside the {seen}-batch "
+                "trace — checkpoint and WAL disagree"
+            )
+        if manager is None:
+            manager = cls(structure, graph=graph, history=history, **kwargs)
         return manager

@@ -1,0 +1,336 @@
+"""The adversary generators behind the scenario catalog.
+
+Each generator is a plain function ``(ScenarioParams) -> Iterator[BatchOp]``
+that is deterministic under ``params.seed``, always emits a *valid*
+temporal stream (no duplicate live inserts, deletions only of live
+edges, no in-batch duplicates) and never yields a batch larger than
+``params.batch_size``.  The hardness rationale for each adversary —
+why the theory predicts this exact shape is hard — lives in
+docs/SCENARIOS.md; the property tests in tests/scenarios/ hold every
+generator to the contract above.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Iterator, Set, Tuple
+
+from ..graphs.graph import Edge, norm_edge
+from ..graphs.streams import BatchOp
+from .registry import Scenario, ScenarioParams, register_scenario
+
+
+def _fresh_edges(
+    rng: random.Random,
+    n: int,
+    count: int,
+    live: Set[Edge],
+) -> list[Edge]:
+    """Up to ``count`` distinct uniform non-live edges (rejection sampled)."""
+    fresh: Set[Edge] = set()
+    attempts = 0
+    cap = 50 * count + 100
+    while len(fresh) < count and attempts < cap:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        e = norm_edge(u, v)
+        if e not in live and e not in fresh:
+            fresh.add(e)
+    return sorted(fresh)
+
+
+def _block_pairs(b: int) -> Iterator[Edge]:
+    """All edges of the clique on vertices 0..b-1, densest-first.
+
+    Enumerated by ascending higher endpoint, so every prefix is the
+    *complete* clique on a vertex prefix plus a partial next column —
+    the prefix arboricity (and coreness) therefore ramps as fast as an
+    edge budget allows.
+    """
+    for v in range(1, b):
+        for u in range(v):
+            yield (u, v)
+
+
+# -- 1. hint misestimation ----------------------------------------------------
+
+
+def _ramp_block_size(p: ScenarioParams) -> int:
+    """Block size whose clique absorbs the scenario's ramp inserts."""
+    ramp_budget = (p.batches - p.batches // 2) * p.batch_size
+    b = int(math.ceil((1 + math.sqrt(1 + 8 * ramp_budget)) / 2))
+    return max(4, min(b, p.n - 1))  # vertex n-1 is reserved for the star hub
+
+
+def hint_misestimation(p: ScenarioParams) -> Iterator[BatchOp]:
+    """Densify a block far past the configured height hint.
+
+    Alternating structure: odd batches ramp a clique block (true
+    arboricity climbs ~sqrt(inserted edges)), even batches oscillate a
+    sacrificial star on the reserved hub so deletions stay in the mix.
+    :func:`suggested_hint` reports an H wrong by ``p.hint_factor`` —
+    the BALANCED(H) envelope must degrade gracefully (cost, not
+    correctness) as the ramp blows through it.
+    """
+    b = _ramp_block_size(p)
+    hub = p.n - 1
+    ramp = _block_pairs(b)
+    star_k = min(p.batch_size, b)
+    star = tuple(norm_edge(j, hub) for j in range(star_k))
+    star_live = False
+    exhausted = False
+    for i in range(p.batches):
+        if i % 2 == 0 and not exhausted:
+            chunk: list[Edge] = []
+            for _ in range(p.batch_size):
+                try:
+                    chunk.append(next(ramp))
+                except StopIteration:
+                    exhausted = True
+                    break
+            if chunk:
+                yield BatchOp("insert", tuple(chunk))
+                continue
+        # star oscillation: strict insert/delete alternation keeps it valid
+        yield BatchOp("delete" if star_live else "insert", star)
+        star_live = not star_live
+
+
+def suggested_hint(p: ScenarioParams) -> int:
+    """The deliberately wrong height hint for :func:`hint_misestimation`.
+
+    The ramp's final block holds ~half the edge budget, so its true
+    arboricity is ~m/b; dividing by ``hint_factor`` under- (or, for
+    factors < 1, over-) estimates it by design.
+    """
+    b = _ramp_block_size(p)
+    ramp_edges = min((p.batches - p.batches // 2) * p.batch_size, b * (b - 1) // 2)
+    true_h = max(1, round(ramp_edges / max(1, b - 1)))
+    return max(1, round(true_h / p.hint_factor))
+
+
+# -- 2. core-boundary oscillation ---------------------------------------------
+
+
+def core_oscillation(p: ScenarioParams) -> Iterator[BatchOp]:
+    """Flip a boundary set across a coreness threshold every batch.
+
+    A fixed clique core of size ``k`` is built first; thereafter every
+    cycle inserts (then deletes) the full attachment of a boundary set
+    to ``k`` core vertices, so every boundary vertex's coreness jumps
+    between 0 and ``k`` each cycle — one batch per flip whenever
+    ``batch_size >= k`` (every preset scale) — the worst case for any
+    structure that amortises over coreness stability.
+    """
+    k = _oscillation_threshold(p)
+    boundary = max(1, p.batch_size // k)
+    core_edges = list(_block_pairs(k))
+    attach = tuple(
+        norm_edge(k + j, c) for j in range(boundary) for c in range(k)
+    )
+    emitted = 0
+    for i in range(0, len(core_edges), p.batch_size):
+        if emitted >= p.batches:
+            return
+        yield BatchOp("insert", tuple(core_edges[i : i + p.batch_size]))
+        emitted += 1
+    attached = False
+    while emitted < p.batches:
+        kind = "delete" if attached else "insert"
+        for i in range(0, len(attach), p.batch_size):
+            if emitted >= p.batches:
+                return
+            yield BatchOp(kind, attach[i : i + p.batch_size])
+            emitted += 1
+        attached = not attached
+
+
+def _oscillation_threshold(p: ScenarioParams) -> int:
+    """The coreness value the boundary oscillates up to (k of the core)."""
+    return max(3, min(p.batch_size, (p.n - 1) // 2, 8))
+
+
+# -- 3. skew flip -------------------------------------------------------------
+
+
+def _rmat_edge(rng: random.Random, scale: int) -> Tuple[int, int]:
+    """One RMAT (0.57/0.19/0.19) draw over 2**scale vertices."""
+    u = v = 0
+    for _ in range(scale):
+        r = rng.random()
+        u <<= 1
+        v <<= 1
+        if r < 0.57:
+            pass
+        elif r < 0.76:
+            v |= 1
+        elif r < 0.95:
+            u |= 1
+        else:
+            u |= 1
+            v |= 1
+    return u, v
+
+
+def skew_flip(p: ScenarioParams) -> Iterator[BatchOp]:
+    """Heavy-tail RMAT first half, then tear it down under a star-burst.
+
+    Mid-stream the degree distribution flips: the power-law community
+    structure drains away (deletions in insertion order) while a single
+    hub bursts to maximum degree.  Structures tuned to one skew regime
+    (sampling thresholds, duplication factors) must re-balance on the
+    flip rather than carry stale state across it.
+    """
+    rng = random.Random(p.seed)
+    scale = max(2, int(math.floor(math.log2(p.n))))
+    hub = p.n - 1
+    live: Set[Edge] = set()
+    order: deque[Edge] = deque()  # phase-1 edges, insertion order
+    half = max(1, p.batches // 2)
+    for _ in range(half):
+        fresh: Set[Edge] = set()
+        attempts = 0
+        cap = 50 * p.batch_size + 100
+        while len(fresh) < p.batch_size and attempts < cap:
+            attempts += 1
+            u, v = _rmat_edge(rng, scale)
+            if u == v:
+                continue
+            e = norm_edge(u, v)
+            if e not in live and e not in fresh:
+                fresh.add(e)
+        if not fresh:
+            break
+        chunk = tuple(sorted(fresh))
+        live |= fresh
+        order.extend(chunk)
+        yield BatchOp("insert", chunk)
+    burst = 0  # next star target to try
+    emitted = half
+    star_turn = True
+    while emitted < p.batches:
+        if star_turn:
+            star: list[Edge] = []
+            while len(star) < p.batch_size and burst < p.n - 1:
+                e = norm_edge(burst, hub)
+                burst += 1
+                if e not in live:
+                    star.append(e)
+            if star:
+                live |= set(star)
+                yield BatchOp("insert", tuple(star))
+                emitted += 1
+            star_turn = False
+            if not star and not order:
+                return  # both phases exhausted
+            continue
+        doomed: list[Edge] = []
+        while len(doomed) < p.batch_size and order:
+            doomed.append(order.popleft())
+        if doomed:
+            live -= set(doomed)
+            yield BatchOp("delete", tuple(doomed))
+            emitted += 1
+        star_turn = True
+        if not doomed and burst >= p.n - 1:
+            return
+
+
+# -- 4. sliding-window churn --------------------------------------------------
+
+
+def sliding_window_churn(p: ScenarioParams) -> Iterator[BatchOp]:
+    """Insert at the front, expire at the tail, bounded live-edge set.
+
+    The out-of-core workhorse: live edges never exceed
+    ``window * batch_size`` regardless of stream length, so a
+    10^6-edge-update instance streams through a
+    :class:`~repro.graphs.tracefile.TraceWriter` /
+    :func:`~repro.graphs.tracefile.iter_trace` pair in O(window) memory.
+    Models interaction graphs over the last k hours — the asynchronous
+    read/update stress regime of Liu–Shun–Zablotchi.
+    """
+    rng = random.Random(p.seed)
+    live: Set[Edge] = set()
+    window: deque[Tuple[Edge, ...]] = deque()
+    emitted = 0
+    while emitted < p.batches:
+        if len(window) >= p.window:
+            old = window.popleft()
+            live -= set(old)
+            yield BatchOp("delete", old)
+            emitted += 1
+            if emitted >= p.batches:
+                return
+        fresh = _fresh_edges(rng, p.n, p.batch_size, live)
+        if not fresh:
+            return  # universe saturated; nothing valid left to insert
+        chunk = tuple(fresh)
+        live |= set(fresh)
+        window.append(chunk)
+        yield BatchOp("insert", chunk)
+        emitted += 1
+
+
+# -- registration -------------------------------------------------------------
+
+register_scenario(
+    Scenario(
+        name="hint-misestimation",
+        summary="density ramp far past a wrong BALANCED(H) hint",
+        rationale=(
+            "Couto-Fernandes (arXiv 2509.13584): update hardness is driven "
+            "by the gap between the structure's height budget and the "
+            "true degeneracy; a mis-set H is the cheapest way to open it."
+        ),
+        stream=hint_misestimation,
+        bounded_window=False,
+        suggested_H=suggested_hint,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="core-oscillation",
+        summary="boundary vertices flip across a coreness threshold per batch",
+        rationale=(
+            "Couto-Fernandes (arXiv 2509.13584): coreness maintenance lower "
+            "bounds come from threshold-crossing flips; amortized structures "
+            "pay for each flip, worst-case ones must not."
+        ),
+        stream=core_oscillation,
+        bounded_window=True,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="skew-flip",
+        summary="RMAT heavy tail torn down under a star-burst mid-stream",
+        rationale=(
+            "Distribution shift breaks amortization arguments that charge "
+            "against a stable degree profile (the E2 sawtooth generalised "
+            "to skew); sampling/duplication thresholds must re-balance."
+        ),
+        stream=skew_flip,
+        bounded_window=False,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sliding-window-churn",
+        summary="front inserts + tail expiry with a bounded live-edge set",
+        rationale=(
+            "Liu-Shun-Zablotchi (arXiv 2401.08015): the batched-update / "
+            "asynchronous-read service regime — unbounded stream length, "
+            "bounded live state — is exactly the out-of-core contract."
+        ),
+        stream=sliding_window_churn,
+        bounded_window=True,
+    )
+)

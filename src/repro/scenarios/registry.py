@@ -1,0 +1,152 @@
+"""The scenario catalog: named, parameterized, seeded adversaries.
+
+A :class:`Scenario` couples a workload generator with the metadata the
+soak harnesses need: whether its live-edge set is bounded (the
+out-of-core contract), and — for the hint-misestimation family — the
+deliberately wrong height hint a ``BALANCED(H)`` structure should be
+built with.  Generators are *lazy*: ``scenario.stream(params)`` returns
+an iterator that synthesises batches on demand, so a ``large``-scale
+(10^6 edge updates) stream can be drained straight into a
+:class:`~repro.graphs.tracefile.TraceWriter` without ever existing as a
+list.
+
+Scales are named presets (``tiny`` → unit tests, ``ci`` → the CI soak
+gate, ``bench`` → E23's soak table, ``large`` → the 10^6-edge
+out-of-core run); :func:`params_for` builds the concrete
+:class:`ScenarioParams` with per-call overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, Optional
+
+from ..errors import ParameterError
+from ..graphs.streams import BatchOp
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Concrete knobs of one scenario instance.
+
+    ``batches`` counts emitted :class:`BatchOp`\\ s, ``batch_size`` the
+    target edges per batch (generators may emit slightly smaller batches
+    near exhaustion but never larger).  ``window`` bounds the live chunk
+    set of windowed scenarios; ``hint_factor`` is how wrong the height
+    hint of the misestimation adversary is (``> 1`` underestimates,
+    ``< 1`` overestimates).
+    """
+
+    n: int
+    batches: int
+    batch_size: int
+    seed: int = 0
+    window: int = 5
+    hint_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.n < 8:
+            raise ParameterError(f"scenario needs n >= 8, got {self.n}")
+        if self.batches < 1 or self.batch_size < 1:
+            raise ParameterError(
+                f"scenario needs batches, batch_size >= 1, got "
+                f"{self.batches}, {self.batch_size}"
+            )
+        if self.window < 1:
+            raise ParameterError(f"window must be >= 1, got {self.window}")
+        if self.hint_factor <= 0:
+            raise ParameterError(
+                f"hint_factor must be > 0, got {self.hint_factor}"
+            )
+
+    @property
+    def edge_budget(self) -> int:
+        """Upper bound on emitted edge updates."""
+        return self.batches * self.batch_size
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered adversary.
+
+    ``bounded_window`` promises the live-edge set stays bounded by a
+    function of ``(n, batch_size, window)`` alone — independent of
+    ``batches`` — which is what makes a scenario safe to run at
+    ``large`` scale out-of-core.  ``suggested_H`` returns the
+    (deliberately mis-set, for the misestimation family) height hint a
+    ``BALANCED(H)`` trial should use; ``None`` means the harness default.
+    """
+
+    name: str
+    summary: str
+    rationale: str  # the hardness-literature motivation (docs/SCENARIOS.md)
+    stream: Callable[[ScenarioParams], Iterator[BatchOp]]
+    bounded_window: bool = False
+    suggested_H: Optional[Callable[[ScenarioParams], int]] = None
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the catalog (name collisions are a bug)."""
+    if scenario.name in _REGISTRY:
+        raise ParameterError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_stream(name: str, params: ScenarioParams) -> Iterator[BatchOp]:
+    """The lazy batch stream of a named scenario under ``params``."""
+    return get_scenario(name).stream(params)
+
+
+def suggested_height(name: str, params: ScenarioParams, default: int = 4) -> int:
+    """The height hint a BALANCED(H) trial of this scenario should use."""
+    scenario = get_scenario(name)
+    if scenario.suggested_H is None:
+        return default
+    return scenario.suggested_H(params)
+
+
+#: Named scale presets.  ``large`` is the out-of-core scale: 20_000
+#: batches x 50 edges = 10^6 edge updates, only sane for
+#: ``bounded_window`` scenarios streamed to disk (E23 measures exactly
+#: that).
+SCALES: Dict[str, ScenarioParams] = {
+    "tiny": ScenarioParams(n=20, batches=16, batch_size=4, window=3),
+    "ci": ScenarioParams(n=40, batches=60, batch_size=5, window=5),
+    "bench": ScenarioParams(n=96, batches=240, batch_size=10, window=6),
+    "large": ScenarioParams(n=4096, batches=20_000, batch_size=50, window=10),
+}
+
+
+def params_for(scale: str, seed: int = 0, **overrides: object) -> ScenarioParams:
+    """Build concrete params from a named scale plus overrides."""
+    try:
+        base = SCALES[scale]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scale {scale!r}; known: {sorted(SCALES)}"
+        ) from None
+    return replace(base, seed=seed, **overrides)  # type: ignore[arg-type]
+
+
+# Populate the catalog.  Imported for its registration side effect; the
+# import sits at the bottom so adversaries.py can import the classes above.
+from . import adversaries as _adversaries  # noqa: E402,F401

@@ -7,8 +7,11 @@ from repro.graphs import generators as gen, streams
 from repro.graphs.streams import BatchOp
 from repro.graphs.tracefile import (
     TraceWriter,
+    iter_trace,
     read_trace,
+    scan_trace,
     validate_trace,
+    write_stream,
     write_trace,
 )
 
@@ -170,3 +173,88 @@ class TestTraceWriter:
             for op in ops:
                 writer.append(op)
         assert a.read_text() == b.read_text()
+
+
+class TestStreaming:
+    """The out-of-core surface: iter_trace / scan_trace / write_stream."""
+
+    def _ops(self):
+        _, edges = gen.clique(6)
+        return streams.insert_then_delete(edges, 4, seed=2)
+
+    def test_iter_matches_read(self, tmp_path):
+        path = tmp_path / "t.txt"
+        ops = self._ops()
+        write_trace(ops, path)
+        assert list(iter_trace(path)) == ops
+        assert list(iter_trace(path, strict=True)) == ops
+
+    def test_tiny_chunks_cross_line_boundaries(self, tmp_path):
+        # chunk_bytes=1 forces every line to be reassembled byte by byte
+        path = tmp_path / "t.txt"
+        ops = self._ops()
+        write_trace(ops, path)
+        assert list(iter_trace(path, strict=True, chunk_bytes=1)) == ops
+
+    def test_incremental_crc_detects_corruption(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self._ops(), path)
+        text = path.read_text()
+        # flip one digit of the body (keeping every line parseable) so the
+        # incremental CRC fold — not the line parser — must catch it
+        pos = next(i for i, ch in enumerate(text) if ch.isdigit())
+        flip = "9" if text[pos] != "9" else "8"
+        path.write_text(text[:pos] + flip + text[pos + 1 :])
+        with pytest.raises(TraceError, match="CRC-32"):
+            list(iter_trace(path))
+
+    def test_strict_unsealed_raises_at_exhaustion(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self._ops(), path, footer=False)
+        assert list(iter_trace(path)) == self._ops()
+        with pytest.raises(TraceError, match="missing end-of-trace footer"):
+            list(iter_trace(path, strict=True))
+
+    def test_content_after_footer_detected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self._ops(), path)
+        with open(path, "a") as fh:
+            fh.write("I 9 10\n")
+        with pytest.raises(TraceError, match="after end-of-trace"):
+            list(iter_trace(path))
+
+    def test_scan_reports_shape(self, tmp_path):
+        path = tmp_path / "t.txt"
+        ops = [
+            BatchOp("insert", ((0, 1), (1, 2), (2, 3))),
+            BatchOp("delete", ((1, 2),)),
+            BatchOp("insert", ((4, 7),)),
+        ]
+        write_trace(ops, path)
+        info = scan_trace(path, strict=True)
+        assert info.batches == 3
+        assert info.edge_updates == 5
+        assert info.vertices == 8  # max endpoint 7 -> universe 0..7
+        assert info.max_live_edges == 3
+
+    def test_scan_rejects_invalid_stream(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("I 0 1\nD 2 3\n")
+        with pytest.raises(BatchError):
+            scan_trace(path)
+
+    def test_write_stream_from_generator(self, tmp_path):
+        path = tmp_path / "t.txt"
+        ops = self._ops()
+        writer = write_stream(iter(ops), path)
+        assert writer.batches == len(ops)
+        assert read_trace(path, strict=True) == ops
+
+    def test_iter_is_lazy(self, tmp_path):
+        # Draining one batch must not require parsing the whole file.
+        path = tmp_path / "t.txt"
+        write_trace(self._ops(), path)
+        it = iter_trace(path)
+        first = next(it)
+        assert first == self._ops()[0]
+        it.close()

@@ -161,3 +161,51 @@ class TestRestart:
         assert len(read_trace(wal_path)) == 4  # tolerant read sees the batches
         mgr.close()
         assert len(read_trace(wal_path, strict=True)) == 4
+
+
+class TestBoundedHistory:
+    """``bounded_history=True`` trims the committed prefix at checkpoints."""
+
+    def test_history_stays_window_sized(self):
+        mgr = _manager(bounded_history=True, checkpoint_every=5)
+        for op in OPS:
+            mgr.apply(op)
+            assert len(mgr.history) < 2 * 5
+        assert mgr.applied == len(OPS)
+        assert len(mgr.history) < len(OPS)
+        assert mgr.audit().ok
+
+    def test_answers_match_unbounded(self):
+        bounded = _manager(bounded_history=True)
+        full = _manager()
+        for op in OPS:
+            bounded.apply(op)
+            full.apply(op)
+        assert bounded.graph.edges == full.graph.edges
+        b, f = bounded.structure, full.structure
+        assert set(b.tail_of) == set(f.tail_of)
+
+    def test_recovery_tiers_still_work_after_trim(self):
+        mgr = _manager(bounded_history=True, checkpoint_every=3)
+        inj = FaultInjector(
+            [
+                FaultSpec("tokens.drop.phase", hit=2),
+                FaultSpec("tokens.drop.settle", hit=2, action="corrupt"),
+            ],
+            seed=7,
+        )
+        with injecting(inj):
+            outcomes = [mgr.apply(op) for op in OPS]
+        assert len(inj.fired) == 2
+        assert set(outcomes) > {"ok"}
+        assert mgr.audit().ok
+
+    def test_save_refuses_once_trimmed(self, tmp_path):
+        mgr = _manager(bounded_history=True, checkpoint_every=3)
+        for op in OPS[:2]:  # before the first checkpoint nothing is lost
+            mgr.apply(op)
+        mgr.save(tmp_path / "early")
+        for op in OPS[2:]:
+            mgr.apply(op)
+        with pytest.raises(BatchError, match="bounded-history"):
+            mgr.save(tmp_path / "late")

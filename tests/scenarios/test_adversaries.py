@@ -1,0 +1,96 @@
+"""Property tests holding every adversary to the generator contract.
+
+The contract (module docstring of ``repro.scenarios.adversaries``):
+every generator emits a *valid* temporal stream, is deterministic under
+its seed, never exceeds ``batch_size`` per batch or ``batches`` total,
+and — for ``bounded_window`` scenarios — keeps the live-edge set bounded
+independently of the stream length.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.tracefile import validate_trace
+from repro.scenarios import (
+    ScenarioParams,
+    get_scenario,
+    scenario_names,
+    scenario_stream,
+)
+
+names = st.sampled_from(scenario_names())
+params = st.builds(
+    ScenarioParams,
+    n=st.integers(min_value=8, max_value=48),
+    batches=st.integers(min_value=1, max_value=40),
+    batch_size=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    window=st.integers(min_value=1, max_value=6),
+    hint_factor=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+)
+
+
+def _live_high_water(ops) -> int:
+    live: set = set()
+    high = 0
+    for op in ops:
+        if op.kind == "insert":
+            live |= set(op.edges)
+        else:
+            live -= set(op.edges)
+        high = max(high, len(live))
+    return high
+
+
+@given(name=names, p=params)
+@settings(max_examples=60, deadline=None)
+def test_stream_is_valid_and_within_budget(name, p):
+    ops = list(scenario_stream(name, p))
+    validate_trace(ops)  # inserts absent, deletes present, no in-batch dups
+    assert len(ops) <= p.batches
+    assert all(1 <= op.size <= p.batch_size for op in ops)
+    assert all(max(max(e) for e in op.edges) < p.n for op in ops)
+
+
+@given(name=names, p=params)
+@settings(max_examples=40, deadline=None)
+def test_deterministic_under_seed(name, p):
+    assert list(scenario_stream(name, p)) == list(scenario_stream(name, p))
+
+
+@given(p=params)
+@settings(max_examples=40, deadline=None)
+def test_window_bound_respected(p):
+    ops = list(scenario_stream("sliding-window-churn", p))
+    assert _live_high_water(ops) <= p.window * p.batch_size
+
+
+@given(p=params)
+@settings(max_examples=20, deadline=None)
+def test_core_oscillation_live_set_bounded(p):
+    """The other bounded_window scenario: live set independent of batches.
+
+    Bound = the clique core plus one fully-attached boundary set —
+    a function of ``(n, batch_size)`` only, never of stream length.
+    """
+    from repro.scenarios.adversaries import _oscillation_threshold
+
+    k = _oscillation_threshold(p)
+    boundary = max(1, p.batch_size // k)
+    bound = k * (k - 1) // 2 + boundary * k
+    assert _live_high_water(scenario_stream("core-oscillation", p)) <= bound
+    assert get_scenario("core-oscillation").bounded_window
+
+
+def test_hint_misestimation_mixes_inserts_and_deletes():
+    p = ScenarioParams(n=24, batches=30, batch_size=4)
+    kinds = {op.kind for op in scenario_stream("hint-misestimation", p)}
+    assert kinds == {"insert", "delete"}
+
+
+def test_skew_flip_changes_phase_mid_stream():
+    p = ScenarioParams(n=32, batches=24, batch_size=4, seed=3)
+    ops = list(scenario_stream("skew-flip", p))
+    half = len(ops) // 2
+    assert all(op.kind == "insert" for op in ops[:half])
+    assert any(op.kind == "delete" for op in ops[half:])

@@ -1,0 +1,101 @@
+"""Tests for the scenario catalog (registry, params, scales)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.scenarios import (
+    SCALES,
+    Scenario,
+    ScenarioParams,
+    get_scenario,
+    params_for,
+    scenario_names,
+    scenario_stream,
+    suggested_height,
+)
+from repro.scenarios.registry import register_scenario
+
+EXPECTED = {
+    "core-oscillation",
+    "hint-misestimation",
+    "skew-flip",
+    "sliding-window-churn",
+}
+
+
+class TestCatalog:
+    def test_all_four_adversaries_registered(self):
+        assert EXPECTED <= set(scenario_names())
+
+    def test_names_sorted(self):
+        assert scenario_names() == sorted(scenario_names())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ParameterError, match="unknown scenario"):
+            get_scenario("no-such-adversary")
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_scenario("skew-flip")
+        with pytest.raises(ParameterError, match="already registered"):
+            register_scenario(
+                Scenario(
+                    name=existing.name,
+                    summary="dup",
+                    rationale="dup",
+                    stream=existing.stream,
+                )
+            )
+
+    def test_windowed_flags(self):
+        assert get_scenario("sliding-window-churn").bounded_window
+        assert get_scenario("core-oscillation").bounded_window
+        assert not get_scenario("hint-misestimation").bounded_window
+        assert not get_scenario("skew-flip").bounded_window
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ScenarioParams(n=4, batches=10, batch_size=2)
+        with pytest.raises(ParameterError):
+            ScenarioParams(n=16, batches=0, batch_size=2)
+        with pytest.raises(ParameterError):
+            ScenarioParams(n=16, batches=10, batch_size=2, window=0)
+        with pytest.raises(ParameterError):
+            ScenarioParams(n=16, batches=10, batch_size=2, hint_factor=0)
+
+    def test_edge_budget(self):
+        assert ScenarioParams(n=16, batches=7, batch_size=3).edge_budget == 21
+
+    def test_params_for_overrides(self):
+        p = params_for("tiny", seed=9, batch_size=2)
+        assert p.seed == 9
+        assert p.batch_size == 2
+        assert p.n == SCALES["tiny"].n
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ParameterError, match="unknown scale"):
+            params_for("galactic")
+
+    def test_large_scale_is_a_million_updates(self):
+        assert SCALES["large"].edge_budget == 10**6
+
+
+class TestHints:
+    def test_default_height_for_unhinted_scenarios(self):
+        p = params_for("tiny")
+        assert suggested_height("sliding-window-churn", p, default=7) == 7
+
+    def test_misestimation_hint_scales_with_factor(self):
+        honest = params_for("bench", hint_factor=1.0)
+        wrong = params_for("bench", hint_factor=4.0)
+        assert suggested_height("hint-misestimation", honest) >= suggested_height(
+            "hint-misestimation", wrong
+        )
+        assert suggested_height("hint-misestimation", wrong) >= 1
+
+    def test_stream_dispatch(self):
+        p = params_for("tiny")
+        ops = list(scenario_stream("core-oscillation", p))
+        assert ops
+        assert ops == list(get_scenario("core-oscillation").stream(p))

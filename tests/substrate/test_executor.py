@@ -10,6 +10,7 @@ coordinator replays the delta as one charge per branch.
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -269,3 +270,67 @@ class TestSerialProcessEquivalence:
         serial = _drive(SerialExecutor(), batches)
         proc = _drive(ProcessExecutor(max_workers=1), batches)
         assert serial == proc
+
+
+class TestFaultTolerance:
+    """Dead/hung workers degrade gracefully — and never change answers."""
+
+    def test_forced_timeout_degrades_to_inline_with_identical_answers(self):
+        from repro.instrument.telemetry import REGISTRY
+
+        batches = _mixed_batches(14, 5, seed=3)
+        serial = _drive(SerialExecutor(), batches)
+        REGISTRY.clear()
+        # an unmeetable per-task timeout makes every pooled round "hang":
+        # bounded retries, then in-process execution of the same payloads
+        with ProcessExecutor(max_workers=2, task_timeout=1e-9, task_retries=1) as ex:
+            degraded = _drive(ex, batches)
+        assert degraded == serial
+        assert REGISTRY.counter("repro_executor_degraded_total").value > 0
+        assert REGISTRY.counter("repro_executor_retries_total").value > 0
+
+    def test_healthy_pool_publishes_no_fault_metrics(self):
+        from repro.instrument.telemetry import REGISTRY
+
+        batches = _mixed_batches(14, 4, seed=9)
+        REGISTRY.clear()
+        with ProcessExecutor(max_workers=2) as ex:
+            _drive(ex, batches)
+        assert REGISTRY.counter("repro_executor_degraded_total").value == 0
+        assert REGISTRY.counter("repro_executor_retries_total").value == 0
+
+    def test_task_bug_propagates_without_retry(self):
+        from repro.instrument.telemetry import REGISTRY
+        from repro.pram.executor import RungTask
+
+        REGISTRY.clear()
+        cm = CostModel()
+        task = RungTask(structure=CorenessDecomposition(
+            8, eps=0.35, cm=cm, constants=SMALL), method="no_such_method")
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(AttributeError):
+                ex.run_structures(cm, [task, task])
+        assert REGISTRY.counter("repro_executor_retries_total").value == 0
+
+    def test_retries_are_bounded(self):
+        from repro.instrument.telemetry import REGISTRY
+
+        REGISTRY.clear()
+        batches = _mixed_batches(12, 2, seed=1)
+        with ProcessExecutor(max_workers=2, task_timeout=1e-9, task_retries=3) as ex:
+            _drive(ex, batches)
+        retries = REGISTRY.counter("repro_executor_retries_total").value
+        degraded = REGISTRY.counter("repro_executor_degraded_total").value
+        assert degraded > 0
+        # with an unmeetable timeout every degraded task fails in exactly
+        # (task_retries + 1) pooled rounds before running inline
+        assert retries == (3 + 1) * degraded
+
+    def test_timeout_survives_pickle_roundtrip(self):
+        import pickle
+
+        ex = ProcessExecutor(max_workers=3, task_timeout=7.5, task_retries=4)
+        clone = pickle.loads(pickle.dumps(ex))
+        assert (clone.max_workers, clone.task_timeout, clone.task_retries) == (
+            3, 7.5, 4,
+        )
