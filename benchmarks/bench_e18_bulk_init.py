@@ -9,7 +9,7 @@ compare model work and wall-clock across graph sizes.
 
 from __future__ import annotations
 
-import time
+from repro.instrument import wallclock
 
 from repro.core import BalancedOrientation
 from repro.core.bulk import from_graph
@@ -24,15 +24,15 @@ H = 5
 
 def measure(n: int, m: int):
     _, edges = gen.erdos_renyi(n, m, seed=27)
-    t0 = time.perf_counter()
+    t0 = wallclock.monotonic()
     cm_bulk = CostModel()
     st = from_graph(edges, H=H, cm=cm_bulk)
-    bulk_wall = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    bulk_wall = wallclock.monotonic() - t0
+    t0 = wallclock.monotonic()
     cm_inc = CostModel()
     inc = BalancedOrientation(H=H, cm=cm_inc)
     inc.insert_batch(edges)
-    inc_wall = time.perf_counter() - t0
+    inc_wall = wallclock.monotonic() - t0
     return cm_bulk.work, bulk_wall, cm_inc.work, inc_wall
 
 

@@ -7,9 +7,13 @@ column sums to the cost model's total, and arming the tracer changes no
 charge (work/depth are bit-identical with telemetry on or off).  This
 experiment profiles a mixed insert/delete stream through the full
 coreness ladder and reports the top phases by work share.
+
+``REPRO_E21_TINY=1`` shrinks the stream for CI smoke runs.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.core import CorenessDecomposition
 from repro.graphs import generators as gen, streams
@@ -18,7 +22,10 @@ from repro.instrument.export import phase_shares
 
 from common import CONSTANTS, EPS, drive_traced, Experiment, write_bench
 
-N, M, BATCH = 48, 240, 24
+if os.environ.get("REPRO_E21_TINY"):
+    N, M, BATCH = 24, 80, 12
+else:
+    N, M, BATCH = 48, 240, 24
 TOP_ROWS = 10
 
 

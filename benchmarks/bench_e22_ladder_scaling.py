@@ -24,11 +24,10 @@ shrinks the trace for CI smoke runs.
 from __future__ import annotations
 
 import os
-import time
 
 from repro.core import CorenessDecomposition, DensityEstimator
 from repro.graphs import generators as gen, streams
-from repro.instrument import BatchTimer, CostModel, parallelism, project, render_table
+from repro.instrument import BatchTimer, CostModel, parallelism, project, render_table, wallclock
 from repro.pram import ProcessExecutor, SerialExecutor
 
 from common import CONSTANTS, EPS, Experiment, write_bench
@@ -62,7 +61,7 @@ def measure(workers: int = 1, rung_skip: bool = False):
         executor=executor, rung_skip=rung_skip,
     )
     timer = BatchTimer(cm)
-    t0 = time.perf_counter()
+    t0 = wallclock.monotonic()
     try:
         for op in ops:
             with timer.batch(op.kind, op.size):
@@ -71,7 +70,7 @@ def measure(workers: int = 1, rung_skip: bool = False):
                         st.insert_batch(op.edges)
                     else:
                         st.delete_batch(op.edges)
-        wall = time.perf_counter() - t0
+        wall = wallclock.monotonic() - t0
         answers = (core.estimates(), core.max_estimate(), dens.density_estimate())
     finally:
         executor.close()

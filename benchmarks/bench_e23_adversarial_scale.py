@@ -26,12 +26,11 @@ import os
 import pathlib
 import resource
 import tempfile
-import time
 import tracemalloc
 
 from repro.core.balanced import BalancedOrientation
 from repro.graphs.tracefile import iter_trace, scan_trace, write_stream
-from repro.instrument import BatchTimer, CostModel, render_table
+from repro.instrument import BatchTimer, CostModel, render_table, wallclock
 from repro.instrument.metrics import RECOVERY_TIERS
 from repro.resilience.faults import SITES, FaultInjector, injecting
 from repro.resilience.recovery import RecoveryManager
@@ -117,7 +116,7 @@ def out_of_core(batches: int) -> dict:
             actions=("raise", "corrupt"),
         )
         timer = BatchTimer(cm)
-        t0 = time.perf_counter()
+        t0 = wallclock.monotonic()
         tracemalloc.start()
         with injecting(injector):
             for op in iter_trace(path, strict=True):
@@ -125,7 +124,7 @@ def out_of_core(batches: int) -> dict:
                     manager.apply(op)
         _, replay_peak = tracemalloc.get_traced_memory()
         tracemalloc.stop()
-        wall = time.perf_counter() - t0
+        wall = wallclock.monotonic() - t0
     audit = audit_orientation(manager.structure, manager.graph)
     _CACHE[key] = {
         "batches": info.batches,

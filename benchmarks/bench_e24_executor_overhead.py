@@ -1,0 +1,219 @@
+"""E24 — executor overhead attribution: where the seconds go.
+
+E22 established the *model* contract of the executor subsystem (process
+accounting bit-identical to serial, Brent-projected speedup); this
+experiment measures the *wall-clock* side the ROADMAP's perf items need:
+for every ``run_structures`` round the executor records payload bytes,
+coordinator pickle time, submit→start queue latency, worker compute, and
+coordinator merge time into its overhead ledger
+(:class:`repro.instrument.wallclock.ExecutorStats` — the ``repro profile
+--overhead`` report).
+
+Two claims are gated here, not just displayed:
+
+* **Attribution honesty** — the named components (pickle + queue-wait +
+  compute + merge) must explain >= 90% of the measured executor
+  wall-clock on *both* backends.  The components come from independent
+  clocks (worker processes vs the coordinator timeline), so this is a
+  real check, not an identity.
+* **Bit-identity under instrumentation** — with the full ledger armed,
+  process work/depth/counters still equal serial exactly (the ledger
+  never touches a cost model).
+
+The dominant-cost line is the actionable output: at laptop scale it
+names task pickling / queue latency as what eats the parallel win,
+which is the honest mismatch E22's conclusion describes.
+
+``REPRO_E24_TINY=1`` shrinks the trace for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import CorenessDecomposition, DensityEstimator
+from repro.graphs import generators as gen, streams
+from repro.instrument import BatchTimer, CostModel, render_table
+from repro.pram import ProcessExecutor, SerialExecutor
+
+from common import CONSTANTS, EPS, Experiment, write_bench
+
+TINY = bool(os.environ.get("REPRO_E24_TINY"))
+if TINY:
+    N, BLOCK, PERIPHERY, BATCH = 24, 6, 40, 12
+else:
+    N, BLOCK, PERIPHERY, BATCH = 56, 12, 150, 24
+
+#: the honesty gate: components must explain this share of executor wall.
+COVERAGE_GATE = 0.9
+
+
+def _trace():
+    _, edges = gen.planted_dense(N, BLOCK, p_in=0.8, out_edges=PERIPHERY, seed=24)
+    return streams.insert_then_delete(edges, BATCH, seed=24)
+
+
+def measure(workers: int = 1):
+    """Drive both ladders through one backend; return cost + the ledger."""
+    ops = _trace()
+    cm = CostModel()
+    executor = (
+        ProcessExecutor(max_workers=workers) if workers > 1 else SerialExecutor()
+    )
+    core = CorenessDecomposition(
+        N, eps=EPS, cm=cm, constants=CONSTANTS, seed=24, executor=executor
+    )
+    dens = DensityEstimator(
+        N, eps=EPS, cm=cm, constants=CONSTANTS, seed=24, executor=executor
+    )
+    timer = BatchTimer(cm)
+    try:
+        for op in ops:
+            with timer.batch(op.kind, op.size):
+                for st in (core, dens):
+                    if op.kind == "insert":
+                        st.insert_batch(op.edges)
+                    else:
+                        st.delete_batch(op.edges)
+    finally:
+        executor.close()
+    return {
+        "work": cm.work,
+        "depth": cm.depth,
+        "counters": dict(cm.counters),
+        "stats": executor.stats,
+        "series": timer.series,
+    }
+
+
+CONFIGS = [
+    ("serial", dict(workers=1)),
+    ("process x2", dict(workers=2)),
+]
+
+
+def _overhead_row(name: str, stats) -> list:
+    c = stats.components()
+    phrase, share = stats.dominant()
+    return [
+        name,
+        stats.rounds,
+        stats.task_count,
+        f"{stats.totals['payload_bytes'] / 1024.0:.1f}",
+        f"{c['pickle']:.3f}",
+        f"{c['queue']:.3f}",
+        f"{c['compute']:.3f}",
+        f"{c['merge']:.3f}",
+        f"{100.0 * stats.coverage():.0f}%",
+        f"{phrase} ({100.0 * share:.0f}%)",
+    ]
+
+
+def run_experiment() -> Experiment:
+    runs = {name: measure(**kw) for name, kw in CONFIGS}
+    base = runs["serial"]
+    rows = [_overhead_row(name, runs[name]["stats"]) for name, _ in CONFIGS]
+    table = render_table(
+        ["config", "rounds", "tasks", "payload KiB", "pickle s", "queue s",
+         "compute s", "merge s", "coverage", "dominant cost"],
+        rows,
+    )
+    # gate 1: attribution honesty on both backends
+    for name, _ in CONFIGS:
+        cov = runs[name]["stats"].coverage()
+        assert cov >= COVERAGE_GATE, (
+            f"{name}: components explain only {100 * cov:.0f}% of executor "
+            f"wall-clock — the ledger is lying by omission"
+        )
+    # gate 2: the ledger never perturbs the accounting
+    assert (base["work"], base["depth"], base["counters"]) == (
+        runs["process x2"]["work"],
+        runs["process x2"]["depth"],
+        runs["process x2"]["counters"],
+    ), "overhead instrumentation must keep process accounting bit-identical"
+    write_bench(
+        "e24_executor_overhead",
+        base["series"],
+        extra={
+            "overhead": {
+                name: {
+                    "rounds": runs[name]["stats"].rounds,
+                    "tasks": runs[name]["stats"].task_count,
+                    "payload_kb": (
+                        runs[name]["stats"].totals["payload_bytes"] / 1024.0
+                    ),
+                    "wall_seconds": runs[name]["stats"].totals["wall_s"],
+                    "pickle_seconds": runs[name]["stats"].components()["pickle"],
+                    "queue_seconds": runs[name]["stats"].components()["queue"],
+                    "compute_seconds": runs[name]["stats"].components()["compute"],
+                    "merge_seconds": runs[name]["stats"].components()["merge"],
+                    "coverage": runs[name]["stats"].coverage(),
+                    "dominant": runs[name]["stats"].dominant()[0],
+                }
+                for name, _ in CONFIGS
+            }
+        },
+    )
+    proc = runs["process x2"]["stats"]
+    phrase, share = proc.dominant()
+    pc = proc.components()
+    overhead_share = (pc["pickle"] + pc["queue"] + pc["merge"]) / (
+        proc.totals["wall_s"] or 1.0
+    )
+    return Experiment(
+        exp_id="E24",
+        title="executor overhead attribution — where the seconds go",
+        claim=(
+            "the executor's wall-clock decomposes into named components "
+            "(task pickling, queue/dispatch wait, worker compute, "
+            "coordinator merge) that explain >= 90% of the measured wall "
+            "on both backends, without perturbing the bit-identical "
+            "work/depth accounting"
+        ),
+        table=table,
+        conclusion=(
+            f"the ledger accounts for "
+            f"{100 * runs['serial']['stats'].coverage():.0f}% (serial) and "
+            f"{100 * proc.coverage():.0f}% (process x2) of executor "
+            f"wall-clock from independent coordinator/worker clocks — the "
+            f"attribution is honest, not defined into being true "
+            f"(asserted at {100 * COVERAGE_GATE:.0f}%).  On the process "
+            f"backend the dominant cost is {phrase} at "
+            f"{100 * share:.0f}% of the wall, with pickling + dispatch + "
+            f"merge overhead taking {100 * overhead_share:.0f}% — the "
+            f"per-rung numbers behind E22's 'pickling overhead outweighs "
+            f"real parallelism' caveat (`repro profile --overhead` "
+            f"reproduces the table on any trace) instead of a hand-wave."
+        ),
+    )
+
+
+def test_e24_coverage_gate_serial():
+    stats = measure(workers=1)["stats"]
+    assert stats.rounds > 0 and stats.task_count > 0
+    assert stats.coverage() >= COVERAGE_GATE
+    # a serial round has no pickling, queueing, or merging to pay for
+    assert stats.totals["serialize_s"] == 0.0
+    assert stats.dominant()[0] == "worker compute"
+
+
+def test_e24_coverage_gate_process():
+    stats = measure(workers=2)["stats"]
+    assert stats.coverage() >= COVERAGE_GATE
+    # the process backend really does ship payloads both ways
+    assert stats.totals["payload_bytes"] > 0
+    assert stats.totals["result_bytes"] > 0
+
+
+def test_e24_ledger_keeps_bit_identity():
+    serial = measure(workers=1)
+    proc = measure(workers=2)
+    assert (serial["work"], serial["depth"], serial["counters"]) == (
+        proc["work"],
+        proc["depth"],
+        proc["counters"],
+    )
+
+
+if __name__ == "__main__":
+    print(run_experiment().render())

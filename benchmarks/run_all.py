@@ -9,7 +9,8 @@ import argparse
 import importlib.util
 import pathlib
 import sys
-import time
+
+from repro.instrument import wallclock
 
 HERE = pathlib.Path(__file__).resolve().parent
 
@@ -65,10 +66,10 @@ def main() -> None:
     sections = []
     summary_rows = []
     for path in benches:
-        t0 = time.time()
+        t0 = wallclock.monotonic()
         mod = load(path)
         exp = mod.run_experiment()
-        elapsed = time.time() - t0
+        elapsed = wallclock.monotonic() - t0
         print(f"{exp.exp_id}: {exp.title}  ({elapsed:.1f}s)")
         sections.append(exp.render())
         summary_rows.append(f"| {exp.exp_id} | {exp.title} |")

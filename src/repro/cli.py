@@ -42,6 +42,8 @@ never the op list.
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 from typing import Optional, Sequence
 
@@ -196,6 +198,12 @@ def cmd_run(args) -> int:
     Out-of-core: one :func:`scan_trace` pass validates the file and sizes
     the vertex universe, then the replay itself drains a lazy
     :func:`iter_trace` generator — the op list never materialises.
+
+    ``--live`` attaches the terminal dashboard (progress, throughput,
+    ETA, hottest spans — docs/OBSERVABILITY.md) as an extra tracer sink;
+    ``--serve-metrics PORT`` additionally exposes the metrics registry as
+    Prometheus text on ``http://127.0.0.1:PORT/metrics`` for the run's
+    duration.  Neither touches the cost model.
     """
     info = scan_trace(args.trace)
     n = max(info.vertices, 2)
@@ -203,20 +211,36 @@ def cmd_run(args) -> int:
     REGISTRY.clear()
     timer = BatchTimer(cm, registry=REGISTRY)
     executor = _exec_config(args).make_executor()
+    live = bool(getattr(args, "live", False))
+    serve_port = getattr(args, "serve_metrics", None)
+    dashboard = None
+    server = None
     try:
+        if serve_port is not None:
+            from .instrument.live import serve_metrics
+
+            server = serve_metrics(REGISTRY, serve_port)
+            print(f"serving metrics on {server.url}", file=sys.stderr)
         structures = _build_structures(args, n, cm, executor=executor)
 
         progress = getattr(args, "progress", 0)
         telemetry = getattr(args, "telemetry", None)
         jsonl = None
-        if telemetry or progress:
+        if telemetry or progress or live:
             sinks: list = []
             if telemetry:
                 jsonl = JsonlSink(telemetry)
                 sinks.append(jsonl)
             if progress:
                 sinks.append(_progress_sink())
-            tracer = Tracer(cm, sinks=sinks)
+            if live:
+                from .instrument.live import LiveDashboard
+
+                dashboard = LiveDashboard(
+                    REGISTRY, sys.stderr, total_batches=info.batches
+                )
+                sinks.append(dashboard)
+            tracer = Tracer(cm, sinks=sinks, registry=REGISTRY if live else None)
             try:
                 with _trace.tracing(tracer):
                     _replay(
@@ -234,6 +258,10 @@ def cmd_run(args) -> int:
         else:
             _replay(iter_trace(args.trace), structures, timer)
     finally:
+        if dashboard is not None:
+            dashboard.close()
+        if server is not None:
+            server.close()
         executor.close()
 
     series = timer.series
@@ -265,9 +293,12 @@ def cmd_profile(args) -> int:
 
     ``--bench-out DIR`` writes the machine-readable ``BENCH_<name>.json``
     perf summary; ``--prom PATH`` dumps the metrics registry in Prometheus
-    text exposition; ``--check`` replays a second time *disarmed* and
-    fails if work, depth, or any counter differs — the tracing-never-
-    perturbs-the-cost-model guarantee, enforced end to end.
+    text exposition; ``--overhead`` prints the executor's wall-clock
+    overhead ledger (per-rung pickle/queue/compute attribution plus the
+    coordinator timeline — docs/OBSERVABILITY.md); ``--check`` replays a
+    second time *disarmed* and fails if work, depth, or any counter
+    differs — the tracing-never-perturbs-the-cost-model guarantee,
+    enforced end to end.
     """
     ops = read_trace(args.trace)
     n = max(validate_trace(ops), 2)
@@ -292,12 +323,12 @@ def cmd_profile(args) -> int:
         return cm, timer, tracer
 
     try:
-        return _profile_body(args, measure)
+        return _profile_body(args, measure, executor)
     finally:
         executor.close()
 
 
-def _profile_body(args, measure) -> int:
+def _profile_body(args, measure, executor=None) -> int:
     cm, timer, tracer = measure(armed=True)
     root = tracer.root
     if root.work != cm.work or root.total_self_work() != root.work:
@@ -312,6 +343,12 @@ def _profile_body(args, measure) -> int:
         f"\nphase-tree work {root.work} == cost-model work {cm.work} (exact); "
         f"depth {cm.depth}"
     )
+
+    if getattr(args, "overhead", False) and executor is not None:
+        # printed before any --check re-run so the ledger reflects the
+        # armed replay only.
+        print()
+        print(executor.stats.render())
 
     if args.prom:
         with open(args.prom, "w", encoding="utf-8") as fh:
@@ -434,25 +471,134 @@ def cmd_scenarios(args) -> int:
             f"max {info.max_live_edges} live edges, {info.vertices} vertices"
         )
         return 0
+    dashboard = None
+    server = None
+    if getattr(args, "serve_metrics", None) is not None:
+        from .instrument.live import serve_metrics
+
+        server = serve_metrics(REGISTRY, args.serve_metrics)
+        print(f"serving metrics on {server.url}", file=sys.stderr)
+    if getattr(args, "live", False):
+        # no tracer sink plumbing here — the dashboard ticks itself from
+        # a daemon thread while the soak publishes into the registry.
+        from .instrument.live import LiveDashboard
+
+        dashboard = LiveDashboard(REGISTRY, sys.stderr)
+        dashboard.start()
     reports = []
-    for name in names:
-        report = soak_scenario(
-            name,
-            scale=args.scale,
-            seed=args.seed,
-            mode=args.soak,
-            trials=args.trials,
-            faults_per_trial=args.faults,
-            deep_every=args.deep_every,
-            constants=CONSTANTS,
-            minimize=args.minimize,
-            artifact_dir=args.artifact_dir,
-        )
-        reports.append(report)
-        print(report.render())
-        print()
+    try:
+        for name in names:
+            report = soak_scenario(
+                name,
+                scale=args.scale,
+                seed=args.seed,
+                mode=args.soak,
+                trials=args.trials,
+                faults_per_trial=args.faults,
+                deep_every=args.deep_every,
+                constants=CONSTANTS,
+                minimize=args.minimize,
+                artifact_dir=args.artifact_dir,
+            )
+            reports.append(report)
+            print(report.render())
+            print()
+    finally:
+        if dashboard is not None:
+            dashboard.close()
+        if server is not None:
+            server.close()
     print(render_scenario_summary(reports))
     return 0 if all(r.ok for r in reports) else 1
+
+
+def _load_bench_file(path: str) -> dict:
+    """Read one ``BENCH_*.json`` payload (SystemExit on garbage)."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench: cannot read {path}: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"bench: {path} is not a JSON object")
+    return payload
+
+
+def cmd_bench(args) -> int:
+    """Bench history: record runs, render trends, gate regressions.
+
+    ``--record FILE...`` appends BENCH payloads into the history store
+    (``--history-dir``, default ``.bench_history/``), keyed by
+    (experiment, ``--config``, git sha).  ``--trend`` renders per-metric
+    sparkline trends from the store.  ``--compare BASELINE`` gates
+    ``--current`` payloads against a baseline file (or a directory of
+    committed ``BENCH_*.json``), exiting 1 when wall-clock or peak-memory
+    regresses beyond the noise threshold estimated from repeated-run
+    variance (override with ``--threshold``).
+    """
+    from .instrument.history import BenchHistory, render_trend
+
+    history = BenchHistory(args.history_dir)
+    if args.record:
+        for path in args.record:
+            record = history.append(_load_bench_file(path), config=args.config)
+            print(
+                f"recorded {record['experiment']} @ {record['git_sha']} "
+                f"({len(record['metrics'])} gated metrics)"
+            )
+        if not (args.trend or args.compare):
+            return 0
+    if args.trend:
+        text = render_trend(
+            history, experiment=args.experiment, metric=args.metric
+        )
+        print(text)
+        if args.out:
+            pathlib.Path(args.out).write_text(text + "\n")
+            print(f"wrote trend table to {args.out}")
+        if not args.compare:
+            return 0
+    if args.compare:
+        if not args.current:
+            raise SystemExit("bench: --compare requires --current FILE...")
+        base_path = pathlib.Path(args.compare)
+        regressions = []
+        for path in args.current:
+            current = _load_bench_file(path)
+            if base_path.is_dir():
+                candidate = base_path / f"BENCH_{current.get('name', '?')}.json"
+                if not candidate.is_file():
+                    print(f"no baseline for {current.get('name')}; skipping")
+                    continue
+                baseline = _load_bench_file(str(candidate))
+            else:
+                baseline = _load_bench_file(str(base_path))
+            found = history.compare(
+                baseline, current, config=args.config, threshold=args.threshold
+            )
+            gated = [
+                m for m in sorted(set(history_metrics(baseline)))
+                if m in history_metrics(current)
+            ]
+            name = current.get("name", path)
+            if found:
+                for reg in found:
+                    print("REGRESSION " + reg.describe())
+            else:
+                print(f"{name}: {len(gated)} gated metric(s) within threshold")
+            regressions.extend(found)
+        if regressions:
+            print(f"\n{len(regressions)} regression(s) past the noise gate")
+            return 1
+        print("\nno regressions")
+        return 0
+    raise SystemExit("bench: nothing to do (use --record, --trend, or --compare)")
+
+
+def history_metrics(payload: dict) -> dict:
+    """The gated metrics of one payload (re-exported for cmd_bench)."""
+    from .instrument.history import extract_metrics
+
+    return extract_metrics(payload)
 
 
 def cmd_lint(args) -> int:
@@ -631,6 +777,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSONL span/event log to PATH")
     r.add_argument("--progress", type=int, default=0, metavar="K",
                    help="log every K-th batch via the telemetry event sink")
+    r.add_argument("--live", action="store_true",
+                   help="stream a live status line (progress, throughput, "
+                        "ETA, hottest spans) to stderr")
+    r.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="expose the metrics registry as Prometheus text on "
+                        "http://127.0.0.1:PORT/metrics for the run")
     _add_exec_args(r)
     r.set_defaults(func=cmd_run)
 
@@ -650,6 +802,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a JSONL span/event log to PATH")
     p.add_argument("--prom", metavar="PATH",
                    help="dump the metrics registry as Prometheus text")
+    p.add_argument("--overhead", action="store_true",
+                   help="print the executor wall-clock overhead ledger "
+                        "(per-rung pickle/queue/compute attribution)")
     p.add_argument("--check", action="store_true",
                    help="replay disarmed too; fail on any work/depth/counter drift")
     _add_exec_args(p)
@@ -751,7 +906,41 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--trace-out", metavar="PATH",
                     help="spill the scenario stream out-of-core to a sealed "
                          "trace file instead of soaking")
+    sc.add_argument("--live", action="store_true",
+                    help="tick a live status line to stderr while soaking")
+    sc.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                    help="expose the metrics registry as Prometheus text on "
+                         "http://127.0.0.1:PORT/metrics while soaking")
     sc.set_defaults(func=cmd_scenarios)
+
+    b = sub.add_parser(
+        "bench",
+        help="bench history: record runs, sparkline trends, regression gates",
+    )
+    b.add_argument("--history-dir", default=".bench_history", metavar="DIR",
+                   help="the append-only JSONL history store")
+    b.add_argument("--config", default="default",
+                   help="config label the records are keyed under")
+    b.add_argument("--record", nargs="+", metavar="FILE",
+                   help="append BENCH_*.json payload(s) to the store")
+    b.add_argument("--trend", action="store_true",
+                   help="render per-metric trend tables with sparklines")
+    b.add_argument("--experiment", metavar="NAME",
+                   help="restrict --trend to one experiment")
+    b.add_argument("--metric", metavar="NAME",
+                   help="restrict --trend to one (dotted-path) metric")
+    b.add_argument("--out", metavar="PATH",
+                   help="also write the --trend table to PATH (CI artifact)")
+    b.add_argument("--compare", metavar="BASELINE",
+                   help="gate --current payloads against a baseline BENCH "
+                        "file (or a directory of committed ones); exit 1 on "
+                        "wall-clock / peak-memory regression")
+    b.add_argument("--current", nargs="+", metavar="FILE",
+                   help="the freshly measured BENCH_*.json payload(s)")
+    b.add_argument("--threshold", type=float, default=None,
+                   help="relative regression threshold (default: estimated "
+                        "from repeated-run variance in the history store)")
+    b.set_defaults(func=cmd_bench)
 
     lint = sub.add_parser(
         "lint",

@@ -7,6 +7,11 @@
   layer (docs/OBSERVABILITY.md): phase-scoped spans attributing cost-model
   deltas to a game → round → rung tree, a process-wide metrics registry,
   and JSONL / Prometheus / fixed-width-report / BENCH-json sinks.
+* :mod:`.wallclock` / :mod:`.history` / :mod:`.live` — the wall-clock
+  observatory: the process-wide mockable Tracer clock plus the executor
+  overhead ledger (``repro profile --overhead``), the bench-history
+  store with regression gates (``repro bench``), and the live terminal
+  dashboard / Prometheus HTTP endpoint (``repro run --live``).
 """
 
 from .brent import BrentPoint, parallelism, project, saturation_processors
@@ -21,6 +26,8 @@ from .export import (
     validate_bench_payload,
     write_bench_json,
 )
+from .history import BenchHistory, Regression, extract_metrics, render_trend
+from .live import LiveDashboard, MetricsServer, serve_metrics
 from .metrics import (
     BatchRecord,
     BatchTimer,
@@ -39,28 +46,38 @@ from .telemetry import (
     Tracer,
 )
 from .trace import SPAN_TAXONOMY, register_span, span, tracing
+from .wallclock import ExecutorStats, FakeClock, mocked_clock, monotonic
 from .work_depth import CostModel, NullCostModel, ParallelRegion, Snapshot
 
 __all__ = [
     "BatchRecord",
     "BatchTimer",
+    "BenchHistory",
     "BrentPoint",
     "CostModel",
     "Counter",
+    "ExecutorStats",
+    "FakeClock",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "LiveDashboard",
     "MetricsRegistry",
+    "MetricsServer",
     "NullCostModel",
     "ParallelRegion",
     "REGISTRY",
     "RecoveryStats",
+    "Regression",
     "SPAN_TAXONOMY",
     "Series",
     "Snapshot",
     "SpanNode",
     "Tracer",
     "bench_payload",
+    "extract_metrics",
+    "mocked_clock",
+    "monotonic",
     "parallelism",
     "parse_prometheus",
     "phase_shares",
@@ -71,7 +88,9 @@ __all__ = [
     "render_phase_tree",
     "render_series",
     "render_table",
+    "render_trend",
     "saturation_processors",
+    "serve_metrics",
     "span",
     "tracing",
     "validate_bench_payload",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from typing import Any, Optional, Sequence
 
 from ..errors import ParameterError
@@ -83,6 +84,44 @@ def read_jsonl(path: str | pathlib.Path) -> list[dict]:
 # --------------------------------------------------------------------------
 
 
+_METRIC_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_METRIC_NAME_BAD_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: default ``# HELP`` text for the metric families the library publishes
+#: (a registry ``describe()`` overrides these; unknown families fall back
+#: to a generated one-liner so every family still gets a HELP line).
+METRIC_HELP: dict[str, str] = {
+    "repro_batches_total": "processed trace batches by kind",
+    "repro_work_total": "cost-model work units charged",
+    "repro_depth_total": "cost-model depth units charged",
+    "repro_last_batch_size": "edge updates in the most recent batch",
+    "repro_batch_work_per_edge": "per-batch work per edge update (log2 buckets)",
+    "repro_batch_depth": "per-batch cost-model depth (log2 buckets)",
+    "repro_batch_wall_seconds": "per-batch wall-clock seconds (log2 buckets)",
+    "repro_recovery_batches_total": "batches resolved per recovery tier",
+    "repro_scenario_batches_total": "adversarial scenario batches emitted",
+    "repro_scenario_edge_updates_total": "adversarial scenario edge updates emitted",
+    "repro_scenario_live_edges": "live edges of the scenario stream",
+    "repro_spans_total": "telemetry span exits by span name",
+    "repro_span_seconds_total": "wall-clock seconds inside spans by name",
+    "repro_executor_rounds_total": "executor run_structures sweeps",
+    "repro_executor_tasks_total": "rung tasks executed",
+    "repro_executor_payload_bytes_total": "pickled task payload bytes shipped to workers",
+    "repro_executor_result_bytes_total": "pickled result bytes shipped back",
+    "repro_executor_serialize_seconds_total": "coordinator seconds pickling task payloads",
+    "repro_executor_deserialize_seconds_total": "coordinator seconds unpickling results",
+    "repro_executor_wait_seconds_total": "coordinator seconds blocked on worker results",
+    "repro_executor_queue_wait_seconds_total": "submit-to-worker-start queue latency seconds",
+    "repro_executor_compute_seconds_total": "worker seconds inside structure methods",
+    "repro_executor_worker_pickle_seconds_total": "worker seconds pickling/unpickling",
+    "repro_executor_merge_seconds_total": "coordinator seconds merging worker deltas",
+    "repro_executor_idle_seconds_total": "worker seconds paid for but idle",
+    "repro_executor_round_wall_seconds": "wall-clock seconds per executor round (log2 buckets)",
+    "repro_executor_retries_total": "rung tasks retried after a pool failure",
+    "repro_executor_degraded_total": "rung tasks degraded to in-process execution",
+}
+
+
 def _fmt_labels(labels: Sequence[tuple[str, str]]) -> str:
     if not labels:
         return ""
@@ -94,30 +133,63 @@ def _escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    # HELP lines escape only backslash and newline (the exposition spec).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _safe_name(name: str) -> str:
+    """Escape a metric family name into the exposition grammar.
+
+    Registry names are validated at registration, so this only matters
+    for foreign registries rendered through this function — invalid
+    characters become ``_`` rather than producing an unscrapable page.
+    """
+    if _METRIC_NAME_OK.match(name):
+        return name
+    name = _METRIC_NAME_BAD_CHAR.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render a registry in the Prometheus text exposition format.
 
-    Histograms expand into cumulative ``_bucket{le=...}`` samples plus
-    ``_sum`` and ``_count``, exactly like a client library would.
+    Every metric family gets exactly one ``# HELP`` and one ``# TYPE``
+    line, emitted before its first sample (children of a labelled family
+    share them).  Help text comes from ``registry.describe()``, falling
+    back to :data:`METRIC_HELP` and then a generated one-liner; family
+    names are escaped into the exposition grammar and label values are
+    quote-escaped.  Histograms expand into cumulative ``_bucket{le=...}``
+    samples plus ``_sum`` and ``_count``, exactly like a client library
+    would.
     """
     lines: list[str] = []
-    seen_help: set[str] = set()
+    seen: set[str] = set()
     for metric in registry.collect():
-        if metric.name not in seen_help:
-            lines.append(f"# TYPE {metric.name} {metric.kind}")
-            seen_help.add(metric.name)
+        name = _safe_name(metric.name)
+        if metric.name not in seen:
+            seen.add(metric.name)
+            help_text = (
+                registry.help_of(metric.name)
+                or METRIC_HELP.get(metric.name)
+                or f"{metric.name} ({metric.kind})"
+            )
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
         if metric.kind == "histogram":
             cumulative = 0
             for exp in sorted(metric.buckets):
                 cumulative += metric.buckets[exp]
                 le = _fmt_labels(list(metric.labels) + [("le", repr(2.0**exp))])
-                lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                lines.append(f"{name}_bucket{le} {cumulative}")
             inf = _fmt_labels(list(metric.labels) + [("le", "+Inf")])
-            lines.append(f"{metric.name}_bucket{inf} {metric.count}")
-            lines.append(f"{metric.name}_sum{_fmt_labels(metric.labels)} {_num(metric.sum)}")
-            lines.append(f"{metric.name}_count{_fmt_labels(metric.labels)} {metric.count}")
+            lines.append(f"{name}_bucket{inf} {metric.count}")
+            lines.append(f"{name}_sum{_fmt_labels(metric.labels)} {_num(metric.sum)}")
+            lines.append(f"{name}_count{_fmt_labels(metric.labels)} {metric.count}")
         else:
-            lines.append(f"{metric.name}{_fmt_labels(metric.labels)} {_num(metric.value)}")
+            lines.append(f"{name}{_fmt_labels(metric.labels)} {_num(metric.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -359,6 +431,7 @@ def write_bench_json(
 
 __all__ = [
     "JsonlSink",
+    "METRIC_HELP",
     "REQUIRED_BENCH_KEYS",
     "REQUIRED_DEPTH_KEYS",
     "REQUIRED_WPE_KEYS",

@@ -1,0 +1,333 @@
+"""Bench history: append-only perf records with regression gates.
+
+Every ``BENCH_<name>.json`` payload is a snapshot; this module gives the
+snapshots a timeline.  :class:`BenchHistory` appends each measured run
+into a per-experiment JSONL file under ``.bench_history/``, keyed by
+``(experiment, config, git_sha)``, and the ``repro bench`` CLI reads the
+store back out:
+
+* ``repro bench --record FILE...`` — append payloads to the store.
+* ``repro bench --trend`` — per-metric trend table with a sparkline.
+* ``repro bench --compare BASELINE`` — gate current payloads against a
+  baseline; exits non-zero when a *gated* metric (wall-clock seconds or
+  peak-memory KiB — never work/depth, which are exact and have their own
+  ``--check`` gate) regresses beyond a noise threshold.
+
+The noise threshold is estimated from repeated-run variance: with >= 3
+history records for the same (experiment, config) the threshold is
+``max(floor, 3 * cv)`` where ``cv`` is the coefficient of variation of
+that metric across recent records — so a machine with noisy wall clocks
+gates loosely and a quiet one gates tightly.  Absolute floors (50 ms,
+1 MiB) keep tiny denominators from flagging microscopic jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+#: default store directory name (created next to the repo's BENCH files).
+DEFAULT_DIR = ".bench_history"
+
+#: relative-regression floor applied when history is too thin to
+#: estimate noise (and the minimum even when it is not).
+DEFAULT_THRESHOLD = 0.25
+
+#: how many trailing history records feed the noise estimate.
+NOISE_WINDOW = 10
+
+#: absolute slack added on top of the relative gate, per metric kind —
+#: sub-floor deltas are jitter no matter what the ratio says.
+ABS_FLOOR_SECONDS = 0.05
+ABS_FLOOR_KB = 1024.0
+
+_SECONDS_RE = re.compile(r"(?:^|[._])(?:wall_seconds|seconds)$")
+_MEMORY_RE = re.compile(r"(?:^|[._])[a-z_]*(?:peak|maxrss|rss)[a-z_]*_kb$")
+
+
+def metric_kind(name: str) -> Optional[str]:
+    """``"seconds"`` / ``"kb"`` for gated metrics, ``None`` otherwise."""
+    if _SECONDS_RE.search(name):
+        return "seconds"
+    if _MEMORY_RE.search(name):
+        return "kb"
+    return None
+
+
+def extract_metrics(payload: Any, prefix: str = "") -> dict[str, float]:
+    """Pull every gated metric out of a BENCH payload, dotted-path keyed.
+
+    Walks nested dicts (``configs.serial.wall_seconds``,
+    ``out_of_core.100000.replay_peak_kb``...) and keeps numeric leaves
+    whose key names a wall-clock or peak-memory measurement.  Work and
+    depth are deliberately not gated: they are exact replay invariants
+    with their own bit-identity check.
+    """
+    out: dict[str, float] = {}
+    if not isinstance(payload, dict):
+        return out
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(extract_metrics(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if metric_kind(path) is not None:
+                out[path] = float(value)
+    return out
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current short commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+@dataclass
+class Regression:
+    """One gated metric that moved past its noise threshold."""
+
+    experiment: str
+    metric: str
+    baseline: float
+    current: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline > 0 else float("inf")
+
+    def describe(self) -> str:
+        unit = "s" if metric_kind(self.metric) == "seconds" else "KiB"
+        return (
+            f"{self.experiment}: {self.metric} regressed "
+            f"{self.baseline:.3f}{unit} -> {self.current:.3f}{unit} "
+            f"({self.ratio:.2f}x, threshold {1.0 + self.threshold:.2f}x)"
+        )
+
+
+class BenchHistory:
+    """Append-only JSONL store of bench runs, one file per experiment."""
+
+    def __init__(self, root: str | pathlib.Path = DEFAULT_DIR) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, experiment: str) -> pathlib.Path:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", experiment)
+        return self.root / f"{safe}.jsonl"
+
+    # -- writing -------------------------------------------------------------
+
+    def append(
+        self,
+        payload: dict[str, Any],
+        config: str = "default",
+        sha: Optional[str] = None,
+        recorded_at: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Append one BENCH payload as a keyed record; returns the record."""
+        experiment = str(payload.get("name", "unnamed"))
+        record = {
+            "experiment": experiment,
+            "config": config,
+            "git_sha": sha if sha is not None else git_sha(),
+            "recorded_at": (
+                recorded_at if recorded_at is not None else time.time()
+            ),
+            "metrics": extract_metrics(payload),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path_for(experiment).open("a") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    # -- reading -------------------------------------------------------------
+
+    def experiments(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.jsonl"))
+
+    def records(
+        self, experiment: str, config: Optional[str] = None
+    ) -> list[dict[str, Any]]:
+        """All records of one experiment, oldest first (broken lines skipped)."""
+        path = self.path_for(experiment)
+        if not path.is_file():
+            return []
+        out: list[dict[str, Any]] = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if config is not None and record.get("config") != config:
+                continue
+            out.append(record)
+        return out
+
+    # -- noise + regression gating -------------------------------------------
+
+    def noise_threshold(
+        self,
+        experiment: str,
+        metric: str,
+        config: Optional[str] = None,
+        floor: float = DEFAULT_THRESHOLD,
+    ) -> float:
+        """Relative threshold for ``metric`` from repeated-run variance.
+
+        ``max(floor, 3 * cv)`` over the last :data:`NOISE_WINDOW` history
+        values; just ``floor`` when fewer than 3 samples exist.
+        """
+        values = [
+            m[metric]
+            for r in self.records(experiment, config=config)
+            if isinstance(m := r.get("metrics"), dict) and metric in m
+        ][-NOISE_WINDOW:]
+        if len(values) < 3:
+            return floor
+        mean = sum(values) / len(values)
+        if mean <= 0:
+            return floor
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        cv = var**0.5 / mean
+        return max(floor, 3.0 * cv)
+
+    def compare(
+        self,
+        baseline: dict[str, Any],
+        current: dict[str, Any],
+        config: Optional[str] = None,
+        threshold: Optional[float] = None,
+    ) -> list[Regression]:
+        """Gate ``current`` against ``baseline``; returns the regressions.
+
+        Only metrics present in *both* payloads are gated (a benchmark
+        that grew a new config must not fail the gate retroactively).
+        ``threshold`` overrides the noise estimate when given.
+        """
+        experiment = str(baseline.get("name", current.get("name", "unnamed")))
+        base_metrics = extract_metrics(baseline)
+        cur_metrics = extract_metrics(current)
+        regressions: list[Regression] = []
+        for metric in sorted(base_metrics):
+            if metric not in cur_metrics:
+                continue
+            base, cur = base_metrics[metric], cur_metrics[metric]
+            rel = (
+                threshold
+                if threshold is not None
+                else self.noise_threshold(experiment, metric, config=config)
+            )
+            floor = (
+                ABS_FLOOR_SECONDS
+                if metric_kind(metric) == "seconds"
+                else ABS_FLOOR_KB
+            )
+            if cur > base * (1.0 + rel) + floor:
+                regressions.append(
+                    Regression(
+                        experiment=experiment,
+                        metric=metric,
+                        baseline=base,
+                        current=cur,
+                        threshold=rel,
+                    )
+                )
+        return regressions
+
+
+# -- trend rendering ----------------------------------------------------------
+
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+def spark(values: Iterable[float]) -> str:
+    """A unicode sparkline of ``values`` (empty string for no values)."""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_BARS[0] * len(vals)
+    span = hi - lo
+    return "".join(
+        _SPARK_BARS[min(len(_SPARK_BARS) - 1, int((v - lo) / span * len(_SPARK_BARS)))]
+        for v in vals
+    )
+
+
+def render_trend(
+    history: BenchHistory,
+    experiment: Optional[str] = None,
+    metric: Optional[str] = None,
+) -> str:
+    """Per-metric trend table: latest value, delta vs first, sparkline."""
+    from .metrics import render_table  # local: avoid an import cycle
+
+    names = [experiment] if experiment else history.experiments()
+    rows: list[list[object]] = []
+    for name in names:
+        records = history.records(name)
+        if not records:
+            continue
+        metrics: dict[str, list[float]] = {}
+        shas: list[str] = []
+        for record in records:
+            shas.append(str(record.get("git_sha", "?")))
+            for key, value in (record.get("metrics") or {}).items():
+                if metric is not None and key != metric:
+                    continue
+                metrics.setdefault(key, []).append(float(value))
+        for key in sorted(metrics):
+            vals = metrics[key]
+            delta = (
+                f"{(vals[-1] / vals[0] - 1.0) * 100.0:+.1f}%"
+                if vals[0] > 0
+                else "n/a"
+            )
+            rows.append(
+                [name, key, len(vals), f"{vals[-1]:.3f}", delta, spark(vals)]
+            )
+    if not rows:
+        return "bench history is empty"
+    table = render_table(
+        ["experiment", "metric", "runs", "latest", "vs first", "trend"], rows
+    )
+    return table
+
+
+__all__ = [
+    "ABS_FLOOR_KB",
+    "ABS_FLOOR_SECONDS",
+    "BenchHistory",
+    "DEFAULT_DIR",
+    "DEFAULT_THRESHOLD",
+    "NOISE_WINDOW",
+    "Regression",
+    "extract_metrics",
+    "git_sha",
+    "metric_kind",
+    "render_trend",
+    "spark",
+]

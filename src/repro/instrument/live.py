@@ -1,0 +1,256 @@
+"""Live run dashboard and the HTTP metrics endpoint.
+
+``repro run --live`` (and ``repro scenarios --live``) attach a
+:class:`LiveDashboard` to the process-wide
+:class:`~repro.instrument.telemetry.MetricsRegistry`: a single terminal
+status line redrawn in place (``\\r`` + erase on a tty, throttled plain
+lines otherwise) showing per-rung progress, batch throughput, ETA, the
+top-3 hottest spans by wall-clock, and the executor overhead counters.
+Everything is *read* from the registry — the dashboard adds no
+instrumentation of its own and never touches a cost model, so a live run
+stays bit-identical to a quiet one.
+
+``--serve-metrics PORT`` starts a :class:`MetricsServer` — a daemon
+ThreadingHTTPServer on ``127.0.0.1`` exposing the registry as Prometheus
+text on ``/metrics`` (and ``/``), the text-format twin of the JSONL
+telemetry sink.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Any, Callable, Optional
+
+from . import wallclock as _wallclock
+from .telemetry import MetricsRegistry
+
+#: default redraw throttle (seconds between frames).
+DEFAULT_INTERVAL = 0.5
+
+#: how many hottest spans the dashboard panel shows.
+TOP_SPANS = 3
+
+
+def _sum_family(registry: MetricsRegistry, name: str) -> float:
+    """Sum a counter family's value across all its label children."""
+    return sum(m.value for m in registry.collect() if m.name == name)
+
+
+def _family_by_label(
+    registry: MetricsRegistry, name: str, label: str
+) -> dict[str, float]:
+    """One counter family's values keyed by a single label's value."""
+    out: dict[str, float] = {}
+    for metric in registry.collect():
+        if metric.name != name:
+            continue
+        labels = dict(metric.labels)
+        if label in labels:
+            out[labels[label]] = out.get(labels[label], 0.0) + metric.value
+    return out
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds != seconds or seconds < 0 or seconds == float("inf"):
+        return "?"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class LiveDashboard:
+    """A one-line terminal view over a live :class:`MetricsRegistry`.
+
+    Use it as a tracer sink (``sinks=[dash]`` — every span/event tick
+    gives it a chance to redraw, throttled to ``interval``) or drive it
+    from a daemon thread via :meth:`start` when no sink plumbing exists
+    (``repro scenarios --live``).  ``total_batches`` (when known from the
+    trace scan) turns throughput into an ETA.
+
+    On a tty each frame is ``\\r`` + erase-line + the new frame; on a
+    plain pipe frames are whole lines, further throttled (10x interval)
+    so logs stay readable.  :meth:`close` prints a final newline-
+    terminated frame either way.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        out: IO[str],
+        total_batches: Optional[int] = None,
+        interval: float = DEFAULT_INTERVAL,
+        clock: Callable[[], float] = _wallclock.monotonic,
+    ) -> None:
+        self.registry = registry
+        self.out = out
+        self.total_batches = total_batches
+        self.interval = interval
+        self.clock = clock
+        self.t0 = clock()
+        self._last_draw: Optional[float] = None
+        self._isatty = bool(getattr(out, "isatty", lambda: False)())
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.frames = 0
+
+    # -- the sink protocol ---------------------------------------------------
+
+    def __call__(self, event: dict) -> None:
+        """Tracer-sink entry point: maybe redraw (event content unused)."""
+        self.maybe_render()
+
+    def maybe_render(self) -> None:
+        """Redraw if at least ``interval`` elapsed since the last frame."""
+        now = self.clock()
+        throttle = self.interval if self._isatty else self.interval * 10
+        if self._last_draw is not None and now - self._last_draw < throttle:
+            return
+        self._last_draw = now
+        self._draw(self.render())
+
+    # -- frame construction --------------------------------------------------
+
+    def render(self) -> str:
+        """Build one status-line frame from the registry's current state."""
+        reg = self.registry
+        elapsed = max(1e-9, self.clock() - self.t0)
+        batches = _sum_family(reg, "repro_batches_total")
+        rate = batches / elapsed
+        parts = []
+        if self.total_batches:
+            pct = 100.0 * batches / self.total_batches
+            eta = (
+                (self.total_batches - batches) / rate if rate > 0 else float("inf")
+            )
+            parts.append(
+                f"batch {int(batches)}/{self.total_batches} ({pct:.0f}%)"
+            )
+            parts.append(f"{rate:.1f} b/s")
+            parts.append(f"eta {_fmt_eta(eta)}")
+        else:
+            parts.append(f"batch {int(batches)}")
+            parts.append(f"{rate:.1f} b/s")
+        rounds = _family_by_label(reg, "repro_executor_rounds_total", "backend")
+        for backend in sorted(rounds):
+            waits = _family_by_label(
+                reg, "repro_executor_wait_seconds_total", "backend"
+            )
+            parts.append(
+                f"exec[{backend}] {int(rounds[backend])} rounds"
+                + (f" wait {waits[backend]:.1f}s" if backend in waits else "")
+            )
+        spans = _family_by_label(reg, "repro_span_seconds_total", "span")
+        hottest = sorted(spans.items(), key=lambda kv: -kv[1])[:TOP_SPANS]
+        if hottest:
+            parts.append(
+                "hot: " + " ".join(f"{n}={s:.1f}s" for n, s in hottest)
+            )
+        self.frames += 1
+        return " | ".join(parts)
+
+    def _draw(self, frame: str, final: bool = False) -> None:
+        if self._isatty:
+            self.out.write("\r\x1b[2K" + frame + ("\n" if final else ""))
+        else:
+            self.out.write(frame + "\n")
+        self.out.flush()
+
+    # -- optional self-ticking (no sink plumbing available) ------------------
+
+    def start(self) -> None:
+        """Tick from a daemon thread every ``interval`` seconds."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval):
+                self.maybe_render()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-live-dashboard", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop any ticker thread and print the final frame."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._draw(self.render(), final=True)
+
+
+# -- the /metrics endpoint ----------------------------------------------------
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # injected by MetricsServer
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        from .export import prometheus_text  # local: avoid an import cycle
+
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        body = prometheus_text(self.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        """Silence per-request stderr noise (scrapes every few seconds)."""
+
+
+class MetricsServer:
+    """A daemon-threaded Prometheus text endpoint over one registry.
+
+    Binds ``127.0.0.1:port`` (``port=0`` picks a free one — tests use
+    that); :attr:`port` is the bound port either way.  Serving happens on
+    a daemon thread, so a crashed run never hangs on the exporter.
+    """
+
+    def __init__(self, registry: MetricsRegistry, port: int = 0) -> None:
+        handler = type("BoundMetricsHandler", (_MetricsHandler,), {})
+        handler.registry = registry
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=2.0)
+
+
+def serve_metrics(registry: MetricsRegistry, port: int = 0) -> MetricsServer:
+    """Start (and return) a :class:`MetricsServer` for ``registry``."""
+    return MetricsServer(registry, port)
+
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "LiveDashboard",
+    "MetricsServer",
+    "TOP_SPANS",
+    "serve_metrics",
+]

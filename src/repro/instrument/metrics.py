@@ -9,12 +9,12 @@ dependencies, every "figure" is an ASCII table/series.
 from __future__ import annotations
 
 import math
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from . import telemetry as _telemetry
+from . import wallclock as _wallclock
 from .work_depth import CostModel
 
 
@@ -97,26 +97,34 @@ class BatchTimer:
 
     With a :class:`~repro.instrument.telemetry.MetricsRegistry` attached,
     every batch also publishes into it: ``repro_batches_total{kind=}``,
-    ``repro_work_total`` / ``repro_depth_total``, per-batch histograms of
-    work-per-edge and depth, and one ``repro_<name>_total`` counter per
-    cost-model event counter — the structured replacement for reading the
-    ad-hoc ``BatchRecord.counters`` dicts.
+    ``repro_work_total`` / ``repro_depth_total``, per-batch log2 histograms
+    of work-per-edge, depth, and wall-clock seconds (negative-exponent
+    buckets resolve the sub-second batches), and one ``repro_<name>_total``
+    counter per cost-model event counter — the structured replacement for
+    reading the ad-hoc ``BatchRecord.counters`` dicts.
+
+    Wall timing reads ``clock`` — the process-wide mockable monotonic
+    clock by default (:mod:`repro.instrument.wallclock`).
     """
 
     def __init__(
-        self, cm: CostModel, registry: Optional["_telemetry.MetricsRegistry"] = None
+        self,
+        cm: CostModel,
+        registry: Optional["_telemetry.MetricsRegistry"] = None,
+        clock: Callable[[], float] = _wallclock.monotonic,
     ) -> None:
         self.cm = cm
         self.series = Series()
         self.registry = registry
+        self.clock = clock
 
     @contextmanager
     def batch(self, kind: str, size: int) -> Iterator[None]:
         before = self.cm.snapshot()
         counters_before = dict(self.cm.counters)
-        t0 = time.perf_counter()
+        t0 = self.clock()
         yield
-        wall = time.perf_counter() - t0
+        wall = max(0.0, self.clock() - t0)
         after = self.cm.snapshot()
         delta_counters = {
             k: v - counters_before.get(k, 0)

@@ -34,12 +34,12 @@ from __future__ import annotations
 
 import math
 import re
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
 from ..errors import ParameterError
 from . import trace as _trace
+from . import wallclock as _wallclock
 from .work_depth import CostModel
 
 # --------------------------------------------------------------------------
@@ -163,6 +163,12 @@ class _Span:
         node.work += work
         node.depth += depth
         node.wall += wall
+        registry = tracer.registry
+        if registry is not None:
+            registry.counter("repro_spans_total", span=node.name).inc()
+            registry.counter(
+                "repro_span_seconds_total", span=node.name
+            ).inc(max(0.0, wall))
         if tracer.sinks:
             ev: dict[str, Any] = {
                 "type": "span",
@@ -188,6 +194,14 @@ class Tracer:
     reaches it through the module-level ``trace.span`` / ``trace.event``
     functions.  ``strict`` (the default) rejects span names outside the
     registered taxonomy so typos cannot silently fragment attribution.
+
+    ``clock`` defaults to the process-wide mockable monotonic clock
+    (:func:`repro.instrument.wallclock.monotonic`) — the *Tracer clock*
+    reprolint's REP-O003 routes all wall-clock reads through.  With a
+    ``registry`` attached, every span exit also publishes
+    ``repro_spans_total{span=}`` / ``repro_span_seconds_total{span=}``,
+    which is what the live dashboard's "hottest spans" panel reads.
+    Neither wall timing nor publishing ever touches the cost model.
     """
 
     def __init__(
@@ -196,12 +210,14 @@ class Tracer:
         *,
         strict: bool = True,
         sinks: tuple[Callable[[dict], None], ...] | list = (),
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = _wallclock.monotonic,
+        registry: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.cm = cm
         self.strict = strict
         self.sinks: list[Callable[[dict], None]] = list(sinks)
         self.clock = clock
+        self.registry = registry
         self.root = SpanNode("run")
         self._stack: list[SpanNode] = [self.root]
         self._base_work = 0
@@ -320,14 +336,21 @@ class Gauge:
 class Histogram:
     """A log-scale (powers-of-two) histogram of non-negative observations.
 
-    Bucket ``e`` counts observations in ``(2^(e-1), 2^e]`` (bucket 0 holds
-    everything <= 1), which matches the multiplicative spreads the paper's
-    bounds talk in — a factor-2 resolution over many orders of magnitude
-    at O(log range) memory.
+    Bucket ``e`` counts observations in ``(2^(e-1), 2^e]`` for any integer
+    ``e`` — *negative exponents included*, so sub-second wall-clock
+    durations resolve into meaningful buckets (8 ms lands in ``e = -6``)
+    instead of collapsing into a single catch-all.  Everything at or
+    below ``2^MIN_EXP`` (~1 ns), including exact zeros, lands in the
+    ``MIN_EXP`` floor bucket.  The factor-2 resolution over many orders
+    of magnitude at O(log range) memory matches the multiplicative
+    spreads the paper's bounds talk in.
     """
 
     kind = "histogram"
     __slots__ = ("name", "labels", "buckets", "count", "sum", "min", "max")
+
+    #: floor exponent: observations <= 2**MIN_EXP share one bucket.
+    MIN_EXP = -30
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
@@ -342,13 +365,16 @@ class Histogram:
         """Record one observation (negative values are rejected)."""
         if value < 0:
             raise ParameterError(f"histogram {self.name}: negative value {value}")
-        exp = 0 if value <= 1 else math.ceil(math.log2(value))
-        # float rounding near exact powers of two: keep the invariant
-        # value <= 2**exp with the smallest such exp.
-        while 2.0**exp < value:
-            exp += 1
-        while exp > 0 and 2.0 ** (exp - 1) >= value:
-            exp -= 1
+        if value <= 2.0**self.MIN_EXP:
+            exp = self.MIN_EXP
+        else:
+            exp = math.ceil(math.log2(value))
+            # float rounding near exact powers of two: keep the invariant
+            # value <= 2**exp with the smallest such exp.
+            while 2.0**exp < value:
+                exp += 1
+            while exp > self.MIN_EXP and 2.0 ** (exp - 1) >= value:
+                exp -= 1
         self.buckets[exp] = self.buckets.get(exp, 0) + 1
         self.count += 1
         self.sum += value
@@ -383,6 +409,17 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[tuple[str, LabelKey], Any] = {}
         self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric family (idempotent)."""
+        if not _NAME_RE.match(name):
+            raise ParameterError(f"bad metric name {name!r}")
+        self._help[name] = help_text
+
+    def help_of(self, name: str) -> Optional[str]:
+        """The registered help text of ``name`` (None if never described)."""
+        return self._help.get(name)
 
     def _get(self, kind: str, name: str, labels: dict[str, Any]):
         if not _NAME_RE.match(name):
@@ -443,6 +480,7 @@ class MetricsRegistry:
         """Drop every instrument (a fresh process-wide slate)."""
         self._metrics.clear()
         self._kinds.clear()
+        self._help.clear()
 
 
 #: The process-wide default registry (the CLI and the batch timer publish

@@ -51,7 +51,9 @@ from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from ..instrument import telemetry as _telemetry
 from ..instrument import trace as _trace
+from ..instrument import wallclock as _wallclock
 from ..instrument.telemetry import SpanNode, Tracer, merge_span_children
+from ..instrument.wallclock import ExecutorStats, RoundWall, TaskWall
 from ..instrument.work_depth import CostModel
 
 T = TypeVar("T")
@@ -100,6 +102,11 @@ class WorkerDelta:
     worker tracer's root (its children graft under the coordinator's
     enclosing span) and ``events`` are the worker's sink events, re-emitted
     with the coordinator's path prefix and sequence numbers.
+
+    The ``*_s`` fields are the worker's wall-clock observables (seconds
+    on the system-wide monotonic clock): submit→pickup queue latency,
+    the structure method itself, and the worker-side pickle round trip.
+    They feed the overhead ledger only — never the cost model.
     """
 
     work: int
@@ -108,6 +115,9 @@ class WorkerDelta:
     tree: Optional[SpanNode] = None
     events: list[dict] = field(default_factory=list)
     frame_mismatches: int = 0
+    queue_s: float = 0.0
+    compute_s: float = 0.0
+    pickle_s: float = 0.0
 
 
 class _StatePickler(pickle.Pickler):
@@ -144,18 +154,25 @@ def load_structure(blob: bytes, cm: CostModel) -> Any:
     return _StateUnpickler(io.BytesIO(blob), cm).load()
 
 
-def run_task_worker(payload: tuple[bytes, str, tuple, bool]) -> tuple[bytes, WorkerDelta]:
+def run_task_worker(
+    payload: tuple[bytes, str, tuple, bool, float]
+) -> tuple[bytes, WorkerDelta]:
     """Run one :class:`RungTask` in this process against fresh accounting.
 
     The module-level entry point a :class:`ProcessPoolExecutor` can pickle.
-    ``payload`` is ``(blob, method, args, armed)``; the structure is
-    rebuilt around a fresh :class:`CostModel`, the method runs (under a
+    ``payload`` is ``(blob, method, args, armed, t_submit)``; the structure
+    is rebuilt around a fresh :class:`CostModel`, the method runs (under a
     fresh non-strict tracer when the coordinator was armed), and the
     mutated structure plus its :class:`WorkerDelta` travel back.
+    ``t_submit`` is the coordinator's monotonic submit stamp — on Linux
+    ``CLOCK_MONOTONIC`` is system-wide, so ``pickup - t_submit`` is the
+    queue latency the overhead ledger attributes per task.
     """
-    blob, method, args, armed = payload
+    blob, method, args, armed, t_submit = payload
+    t_pickup = _wallclock.monotonic()
     cm = CostModel()
     structure = load_structure(blob, cm)
+    t_loaded = _wallclock.monotonic()
     events: list[dict] = []
     tree: Optional[SpanNode] = None
     mismatches = 0
@@ -167,6 +184,9 @@ def run_task_worker(payload: tuple[bytes, str, tuple, bool]) -> tuple[bytes, Wor
         mismatches = tracer.frame_mismatches
     else:
         getattr(structure, method)(*args)
+    t_computed = _wallclock.monotonic()
+    out = dump_structure(structure)
+    t_dumped = _wallclock.monotonic()
     delta = WorkerDelta(
         work=cm.work,
         depth=cm.depth,
@@ -174,8 +194,11 @@ def run_task_worker(payload: tuple[bytes, str, tuple, bool]) -> tuple[bytes, Wor
         tree=tree,
         events=events,
         frame_mismatches=mismatches,
+        queue_s=max(0.0, t_pickup - t_submit),
+        compute_s=max(0.0, t_computed - t_loaded),
+        pickle_s=max(0.0, (t_loaded - t_pickup) + (t_dumped - t_computed)),
     )
-    return dump_structure(structure), delta
+    return out, delta
 
 
 def merge_delta(cm: CostModel, delta: WorkerDelta) -> None:
@@ -205,6 +228,16 @@ def merge_delta(cm: CostModel, delta: WorkerDelta) -> None:
             tracer._emit(merged)
 
 
+def _task_label(task: RungTask) -> str:
+    """The task's telemetry identity for the overhead ledger."""
+    if task.span is None:
+        return "(unspanned)"
+    if not task.attrs:
+        return task.span
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(task.attrs.items()))
+    return f"{task.span}[{inner}]"
+
+
 def _run_task_inline(task: RungTask) -> None:
     """Execute one task in the coordinator process (the serial branch body)."""
     if task.span is not None:
@@ -222,7 +255,15 @@ def _run_task_inline(task: RungTask) -> None:
 
 
 class SerialExecutor:
-    """Run the sweep in-process, sequentially."""
+    """Run the sweep in-process, sequentially.
+
+    ``stats`` is the wall-clock overhead ledger (``repro profile
+    --overhead``); for the serial backend every second is compute, so the
+    ledger mostly certifies that the executor machinery itself is cheap.
+    """
+
+    def __init__(self) -> None:
+        self.stats = ExecutorStats("serial")
 
     def map(self, fn: Callable[[T], U], items: Sequence[T]) -> list[U]:
         with _trace.span("pram.map", detail={"items": len(items)}, backend="serial"):
@@ -233,15 +274,35 @@ class SerialExecutor:
 
         Semantically identical (work, depth, counters, span tree) to the
         historical inline ladder loop — this *is* that loop, routed.
+        Wall-clock reads never touch ``cm``, so the accounting stays
+        bit-identical to the uninstrumented loop.
         """
         tasks = list(tasks)
+        t_round = _wallclock.monotonic()
+        walls: list[TaskWall] = []
         with _trace.span("pram.map", detail={"items": len(tasks)}, backend="serial"):
             with cm.parallel() as region:
                 for task in tasks:
+                    t0 = _wallclock.monotonic()
                     with region.branch():
                         _run_task_inline(task)
+                    walls.append(
+                        TaskWall(
+                            label=_task_label(task),
+                            compute_s=max(0.0, _wallclock.monotonic() - t0),
+                        )
+                    )
                     if task.install is not None:
                         task.install(task.structure)
+        self.stats.record_round(
+            RoundWall(
+                backend="serial",
+                workers=1,
+                wall_s=max(0.0, _wallclock.monotonic() - t_round),
+                tasks=walls,
+            ),
+            registry=_telemetry.REGISTRY,
+        )
 
     def close(self) -> None:
         """No pooled resources to release (symmetry with ProcessExecutor)."""
@@ -298,6 +359,7 @@ class ProcessExecutor:
         self.task_timeout = task_timeout
         self.task_retries = max(0, task_retries)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self.stats = ExecutorStats("process")
 
     # pool handles cannot travel; a pickled executor rebuilds lazily.
     def __reduce__(self):
@@ -332,12 +394,21 @@ class ProcessExecutor:
         fresh pool; after ``task_retries`` rounds the stragglers run
         in-process via the same :func:`run_task_worker` entry point, so a
         degraded sweep still returns worker-identical results.
+
+        The submit stamp (the 5th payload element) is taken per attempt,
+        at submit time — a retried task's queue latency measures its own
+        round, not the time spent waiting behind a dead pool.
         """
         results: list[Optional[tuple[bytes, WorkerDelta]]] = [None] * len(payloads)
         pending = list(range(len(payloads)))
         for round_no in range(self.task_retries + 1):
             pool = self._ensure_pool()
-            futures = {i: pool.submit(run_task_worker, payloads[i]) for i in pending}
+            futures = {
+                i: pool.submit(
+                    run_task_worker, payloads[i] + (_wallclock.monotonic(),)
+                )
+                for i in pending
+            }
             failed: list[int] = []
             for i in pending:
                 try:
@@ -355,7 +426,7 @@ class ProcessExecutor:
             )
         _telemetry.REGISTRY.counter("repro_executor_degraded_total").inc(len(pending))
         for i in pending:
-            results[i] = run_task_worker(payloads[i])
+            results[i] = run_task_worker(payloads[i] + (_wallclock.monotonic(),))
         return results  # type: ignore[return-value]
 
     def __enter__(self) -> "ProcessExecutor":
@@ -382,19 +453,37 @@ class ProcessExecutor:
         """
         tasks = list(tasks)
         armed = _trace.ACTIVE is not None
+        t_round = _wallclock.monotonic()
+        serialize_per_task: list[float] = []
+        payload_bytes: list[int] = []
         with _trace.span("pram.map", detail={"items": len(tasks)}, backend="process"):
-            payloads = [
-                (dump_structure(t.structure), t.method, t.args, armed) for t in tasks
-            ]
+            payloads = []
+            for t in tasks:
+                t0 = _wallclock.monotonic()
+                blob = dump_structure(t.structure)
+                serialize_per_task.append(max(0.0, _wallclock.monotonic() - t0))
+                payload_bytes.append(len(blob))
+                payloads.append((blob, t.method, t.args, armed))
+            t_submitted = _wallclock.monotonic()
             if self.max_workers <= 1 or len(tasks) <= 1:
                 # in-process fallback: keep the copy/round-trip semantics of
                 # the pool path so behaviour does not depend on sizing.
-                results = [run_task_worker(p) for p in payloads]
+                results = [
+                    run_task_worker(p + (_wallclock.monotonic(),)) for p in payloads
+                ]
             else:
                 results = self._run_payloads(payloads)
+            t_returned = _wallclock.monotonic()
+            deserialize_per_task: list[float] = []
+            result_bytes: list[int] = []
             with cm.parallel() as region:
                 for task, (blob, delta) in zip(tasks, results):
+                    t0 = _wallclock.monotonic()
                     replacement = load_structure(blob, cm)
+                    deserialize_per_task.append(
+                        max(0.0, _wallclock.monotonic() - t0)
+                    )
+                    result_bytes.append(len(blob))
                     with region.branch():
                         if task.span is not None:
                             with _trace.span(task.span, **task.attrs):
@@ -407,3 +496,31 @@ class ProcessExecutor:
                                 task.finish(replacement)
                     if task.install is not None:
                         task.install(replacement)
+            t_merged = _wallclock.monotonic()
+        deserialize_s = sum(deserialize_per_task)
+        walls = [
+            TaskWall(
+                label=_task_label(task),
+                payload_bytes=payload_bytes[i],
+                result_bytes=result_bytes[i],
+                serialize_s=serialize_per_task[i],
+                deserialize_s=deserialize_per_task[i],
+                queue_s=results[i][1].queue_s,
+                compute_s=results[i][1].compute_s,
+                worker_pickle_s=results[i][1].pickle_s,
+            )
+            for i, task in enumerate(tasks)
+        ]
+        self.stats.record_round(
+            RoundWall(
+                backend="process",
+                workers=self.max_workers,
+                wall_s=max(0.0, t_merged - t_round),
+                serialize_s=sum(serialize_per_task),
+                wait_s=max(0.0, t_returned - t_submitted),
+                deserialize_s=deserialize_s,
+                merge_s=max(0.0, (t_merged - t_returned) - deserialize_s),
+                tasks=walls,
+            ),
+            registry=_telemetry.REGISTRY,
+        )

@@ -1,4 +1,4 @@
-"""REP-O001/O002: span-taxonomy rules, firing and silent fixtures."""
+"""REP-O001..O003: span-taxonomy and Tracer-clock rules."""
 
 from __future__ import annotations
 
@@ -7,8 +7,15 @@ import textwrap
 from repro.analysis import lint_source
 
 
-def rules_of(source: str, cost_scope: bool = True) -> set[str]:
-    return {f.rule for f in lint_source(textwrap.dedent(source), cost_scope=cost_scope)}
+def rules_of(
+    source: str, cost_scope: bool = True, path: str = "<string>"
+) -> set[str]:
+    return {
+        f.rule
+        for f in lint_source(
+            textwrap.dedent(source), path, cost_scope=cost_scope
+        )
+    }
 
 
 def test_o001_fires_on_unregistered_span_name():
@@ -123,3 +130,78 @@ def test_real_instrumented_modules_are_clean():
     for mod in (tokens_mod, coreness_mod):
         source = pathlib.Path(mod.__file__).read_text()
         assert {r for r in rules_of(source) if r.startswith("REP-O")} == set()
+
+
+# -- REP-O003: the Tracer clock ------------------------------------------------
+
+_CLOCK_VIOLATION = """
+    '''Module.'''
+
+    import time
+
+
+    def measure():
+        '''Doc.'''
+        return time.perf_counter()
+"""
+
+
+def test_o003_fires_on_direct_time_reads():
+    assert "REP-O003" in rules_of(_CLOCK_VIOLATION)
+
+
+def test_o003_fires_outside_cost_scope_too():
+    # unlike O001/O002, the clock rule covers benchmarks and tests
+    assert "REP-O003" in rules_of(_CLOCK_VIOLATION, cost_scope=False)
+
+
+def test_o003_fires_on_from_import_spelling():
+    violating = """
+        '''Module.'''
+
+        from time import monotonic as mono
+
+
+        def measure():
+            '''Doc.'''
+            return mono()
+    """
+    assert "REP-O003" in rules_of(violating)
+
+
+def test_o003_exempts_instrument_package():
+    assert "REP-O003" not in rules_of(
+        _CLOCK_VIOLATION, path="src/repro/instrument/wallclock.py"
+    )
+
+
+def test_o003_silent_for_tracer_clock_and_non_clock_time_use():
+    clean = """
+        '''Module.'''
+
+        import time
+
+        from repro.instrument import wallclock
+
+
+        def measure():
+            '''sleep() is not a clock read; monotonic() is the Tracer clock.'''
+            time.sleep(0.01)
+            return wallclock.monotonic()
+    """
+    assert "REP-O003" not in rules_of(clean)
+
+
+def test_o003_repo_is_clean_outside_instrument():
+    import pathlib
+
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    hits = []
+    for py in sorted(root.rglob("*.py")):
+        rel = py.relative_to(root.parent)
+        found = rules_of(py.read_text(), path=str(rel))
+        if "REP-O003" in found:
+            hits.append(str(rel))
+    assert hits == []

@@ -100,6 +100,54 @@ class TestPrometheus:
         counts = [v for _le, v in buckets]
         assert counts == sorted(counts)
 
+    def test_help_and_type_once_per_family(self):
+        # two children of repro_batches_total share one HELP + one TYPE,
+        # emitted immediately before the family's first sample
+        text = prometheus_text(self.make_registry())
+        lines = text.splitlines()
+        assert (
+            sum(1 for l in lines if l.startswith("# HELP repro_batches_total "))
+            == 1
+        )
+        assert lines.count("# TYPE repro_batches_total counter") == 1
+        help_idx = next(
+            i for i, l in enumerate(lines)
+            if l.startswith("# HELP repro_batches_total")
+        )
+        assert lines[help_idx + 1] == "# TYPE repro_batches_total counter"
+        assert lines[help_idx + 2].startswith("repro_batches_total{")
+        # every family on the page has a HELP line
+        families = {
+            l.split("{")[0].split(" ")[0].rsplit("_bucket", 1)[0]
+            for l in lines
+            if l and not l.startswith("#")
+        }
+        helped = {l.split(" ")[2] for l in lines if l.startswith("# HELP")}
+        for fam in ("repro_batches_total", "repro_last_batch_size",
+                    "repro_batch_depth"):
+            assert fam in families and fam in helped
+
+    def test_describe_overrides_builtin_help(self):
+        reg = self.make_registry()
+        reg.describe("repro_batches_total", "my custom help")
+        text = prometheus_text(reg)
+        assert "# HELP repro_batches_total my custom help" in text
+        # unknown families still get a generated HELP line
+        reg.counter("repro_custom_thing_total").inc()
+        text = prometheus_text(reg)
+        assert "# HELP repro_custom_thing_total repro_custom_thing_total (counter)" in text
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'quote " backslash \\ newline \n end'
+        reg.counter("repro_scenario_batches_total", scenario=tricky).inc(7)
+        text = prometheus_text(reg)
+        assert "\n" not in text.split("repro_scenario_batches_total{", 1)[1].split("}")[0]
+        samples = parse_prometheus(text)
+        assert samples[
+            ("repro_scenario_batches_total", (("scenario", tricky),))
+        ] == 7
+
 
 class TestPhaseTree:
     def test_render_rows_sum_to_total(self):

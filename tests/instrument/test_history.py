@@ -1,0 +1,268 @@
+"""Bench history: metric gating, noise thresholds, compare, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.instrument.history import (
+    ABS_FLOOR_SECONDS,
+    BenchHistory,
+    DEFAULT_THRESHOLD,
+    Regression,
+    extract_metrics,
+    metric_kind,
+    render_trend,
+    spark,
+)
+
+
+def payload(name="e99_demo", wall=1.0, peak=50_000.0, work=123456):
+    """A minimal BENCH-shaped payload with gated and ungated leaves."""
+    return {
+        "name": name,
+        "total_work": work,  # exact — must never be gated
+        "wall_seconds": wall,
+        "configs": {
+            "serial": {"wall_seconds": wall, "total_depth": 99},
+            "process x2": {"wall_seconds": wall * 1.5},
+        },
+        "out_of_core": {"100000": {"replay_peak_kb": peak}},
+    }
+
+
+class TestMetricGating:
+    def test_metric_kind_names(self):
+        assert metric_kind("wall_seconds") == "seconds"
+        assert metric_kind("configs.serial.wall_seconds") == "seconds"
+        assert metric_kind("soak.scenario.seconds") == "seconds"
+        assert metric_kind("out_of_core.100000.replay_peak_kb") == "kb"
+        assert metric_kind("scenarios.x.peak_rss_kb") == "kb"
+        assert metric_kind("ru_maxrss_kb") == "kb"
+        # exact replay invariants and non-measurements stay out of the gate
+        assert metric_kind("total_work") is None
+        assert metric_kind("total_depth") is None
+        assert metric_kind("edge_updates") is None
+        assert metric_kind("milliseconds") is None
+        assert metric_kind("kb") is None
+
+    def test_extract_metrics_walks_nested_dicts(self):
+        metrics = extract_metrics(payload(wall=2.0, peak=1000.0))
+        assert metrics["wall_seconds"] == 2.0
+        assert metrics["configs.serial.wall_seconds"] == 2.0
+        assert metrics["configs.process x2.wall_seconds"] == 3.0
+        assert metrics["out_of_core.100000.replay_peak_kb"] == 1000.0
+        assert "total_work" not in metrics
+        assert "configs.serial.total_depth" not in metrics
+
+    def test_extract_metrics_ignores_non_dicts_and_bools(self):
+        assert extract_metrics([1, 2, 3]) == {}
+        assert extract_metrics({"wall_seconds": True}) == {}
+
+
+class TestStore:
+    def test_append_and_read_back(self, tmp_path):
+        hist = BenchHistory(tmp_path / "hist")
+        rec = hist.append(payload(), config="ci", sha="abc1234")
+        assert rec["experiment"] == "e99_demo"
+        assert rec["git_sha"] == "abc1234"
+        assert rec["metrics"]["wall_seconds"] == 1.0
+        hist.append(payload(wall=1.1), config="ci", sha="abc1235")
+        assert hist.experiments() == ["e99_demo"]
+        records = hist.records("e99_demo")
+        assert [r["git_sha"] for r in records] == ["abc1234", "abc1235"]
+        assert hist.records("e99_demo", config="other") == []
+
+    def test_broken_lines_are_skipped(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        hist.append(payload(), sha="x")
+        path = hist.path_for("e99_demo")
+        path.write_text(path.read_text() + "not json\n[1, 2]\n")
+        assert len(hist.records("e99_demo")) == 1
+
+    def test_experiment_name_is_sanitized(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        hist.append(payload(name="e9/../evil name"), sha="x")
+        (only,) = list(hist.root.glob("*.jsonl"))
+        assert only.parent == hist.root
+        assert "/" not in only.stem and " " not in only.stem
+
+
+class TestNoiseThreshold:
+    def test_thin_history_uses_floor(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        hist.append(payload(), sha="a")
+        hist.append(payload(), sha="b")
+        assert (
+            hist.noise_threshold("e99_demo", "wall_seconds")
+            == DEFAULT_THRESHOLD
+        )
+
+    def test_quiet_history_stays_at_floor(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        for _ in range(5):
+            hist.append(payload(wall=1.0), sha="a")
+        assert (
+            hist.noise_threshold("e99_demo", "wall_seconds")
+            == DEFAULT_THRESHOLD
+        )
+
+    def test_noisy_history_widens_the_gate(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        for wall in (1.0, 2.0, 1.0, 2.0, 1.0, 2.0):
+            hist.append(payload(wall=wall), sha="a")
+        got = hist.noise_threshold("e99_demo", "wall_seconds")
+        assert got > DEFAULT_THRESHOLD  # 3 * cv of a 1-vs-2 coin flip
+
+
+class TestCompare:
+    def test_clean_rerun_has_no_regressions(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        assert hist.compare(payload(), payload()) == []
+
+    def test_2x_slowdown_is_a_regression(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        found = hist.compare(payload(wall=1.0), payload(wall=2.0))
+        metrics = {r.metric for r in found}
+        assert "wall_seconds" in metrics
+        assert "configs.serial.wall_seconds" in metrics
+        reg = next(r for r in found if r.metric == "wall_seconds")
+        assert reg.ratio == pytest.approx(2.0)
+        assert "regressed" in reg.describe()
+        assert "2.00x" in reg.describe()
+
+    def test_memory_regression_gated_in_kb(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        found = hist.compare(
+            payload(peak=50_000.0), payload(peak=120_000.0)
+        )
+        assert [r.metric for r in found] == ["out_of_core.100000.replay_peak_kb"]
+        assert "KiB" in found[0].describe()
+
+    def test_absolute_floor_swallows_tiny_jitter(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        # 10x on a 1 ms measurement is still under the 50 ms floor
+        assert hist.compare(payload(wall=0.001), payload(wall=0.01)) == []
+        assert ABS_FLOOR_SECONDS > 0.009
+
+    def test_metric_missing_from_either_side_is_skipped(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        base = payload(wall=1.0)
+        cur = payload(wall=1.0)
+        del cur["out_of_core"]  # benchmark dropped a config
+        base2 = dict(cur)
+        assert hist.compare(base, cur) == []
+        # ...and a config new in current is not gated either
+        assert hist.compare(base2, payload(wall=1.0)) == []
+
+    def test_explicit_threshold_overrides_noise(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        found = hist.compare(
+            payload(wall=10.0), payload(wall=12.0), threshold=0.05
+        )
+        assert any(r.metric == "wall_seconds" for r in found)
+        assert (
+            hist.compare(payload(wall=10.0), payload(wall=12.0), threshold=0.5)
+            == []
+        )
+
+    def test_regression_fields(self):
+        reg = Regression(
+            experiment="e", metric="wall_seconds",
+            baseline=0.0, current=1.0, threshold=0.25,
+        )
+        assert reg.ratio == float("inf")
+
+
+class TestTrend:
+    def test_spark_shape(self):
+        assert spark([]) == ""
+        assert spark([5.0, 5.0, 5.0]) == "▁▁▁"
+        line = spark([1, 2, 3, 8])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_render_trend_table(self, tmp_path):
+        hist = BenchHistory(tmp_path)
+        for wall in (1.0, 1.5, 2.0):
+            hist.append(payload(wall=wall), sha="a")
+        text = render_trend(hist)
+        assert "e99_demo" in text
+        assert "wall_seconds" in text
+        assert "+100.0%" in text  # 1.0 -> 2.0 vs first
+        assert any(bar in text for bar in "▁▂▃▄▅▆▇█")
+        only = render_trend(hist, metric="wall_seconds")
+        assert "replay_peak_kb" not in only
+
+    def test_render_trend_empty(self, tmp_path):
+        assert render_trend(BenchHistory(tmp_path)) == "bench history is empty"
+
+
+class TestBenchCli:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_record_then_trend(self, tmp_path, capsys):
+        hist_dir = str(tmp_path / "hist")
+        run = self.write(tmp_path, "run.json", payload())
+        assert main(["bench", "--history-dir", hist_dir, "--record", run]) == 0
+        out = capsys.readouterr().out
+        assert "recorded e99_demo" in out
+        trend_file = tmp_path / "trend.txt"
+        assert main(
+            ["bench", "--history-dir", hist_dir, "--trend",
+             "--out", str(trend_file)]
+        ) == 0
+        assert "wall_seconds" in trend_file.read_text()
+
+    def test_compare_gates_2x_slowdown(self, tmp_path, capsys):
+        hist_dir = str(tmp_path / "hist")
+        base = self.write(tmp_path, "BENCH_e99_demo.json", payload(wall=1.0))
+        slow = self.write(tmp_path, "slow.json", payload(wall=2.0))
+        code = main(
+            ["bench", "--history-dir", hist_dir,
+             "--compare", base, "--current", slow]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "wall_seconds" in out
+
+    def test_compare_clean_rerun_passes(self, tmp_path, capsys):
+        hist_dir = str(tmp_path / "hist")
+        base = self.write(tmp_path, "BENCH_e99_demo.json", payload(wall=1.0))
+        same = self.write(tmp_path, "same.json", payload(wall=1.0))
+        code = main(
+            ["bench", "--history-dir", hist_dir,
+             "--compare", base, "--current", same]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_against_baseline_directory(self, tmp_path):
+        hist_dir = str(tmp_path / "hist")
+        basedir = tmp_path / "baselines"
+        basedir.mkdir()
+        (basedir / "BENCH_e99_demo.json").write_text(
+            json.dumps(payload(wall=1.0))
+        )
+        slow = self.write(tmp_path, "slow.json", payload(wall=2.0))
+        other = self.write(
+            tmp_path, "other.json", payload(name="e98_other", wall=9.0)
+        )
+        assert main(
+            ["bench", "--history-dir", hist_dir,
+             "--compare", str(basedir), "--current", slow, other]
+        ) == 1  # slow regresses; other has no baseline and is skipped
+
+    def test_compare_requires_current(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--compare", str(tmp_path / "nope.json")])
+
+    def test_record_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        with pytest.raises(SystemExit):
+            main(["bench", "--history-dir", str(tmp_path), "--record", str(bad)])
