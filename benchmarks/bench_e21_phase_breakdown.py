@@ -29,21 +29,34 @@ else:
 TOP_ROWS = 10
 
 
-def measure():
-    """(series, phase-tree root, cost model) for the canonical stream."""
+def measure(substrate: str = "treap"):
+    """(series, phase-tree root, cost model, wall) for the canonical stream.
+
+    The substrate is a pure wall-clock knob (docs/PERFORMANCE.md): the
+    phase tree, every charge, and every answer are bit-identical between
+    ``treap`` and ``flat`` — only the wall column moves.
+    """
+    from repro.instrument import wallclock
+
     _, edges = gen.erdos_renyi(N, M, seed=21)
     cm = CostModel()
-    cd = CorenessDecomposition(N, eps=EPS, cm=cm, constants=CONSTANTS, seed=21)
+    cd = CorenessDecomposition(
+        N, eps=EPS, cm=cm, constants=CONSTANTS, seed=21, substrate=substrate
+    )
     ops = streams.insert_then_delete(edges, BATCH, seed=21)
+    t0 = wallclock.monotonic()
     series, tree = drive_traced(cd, ops, cm)
-    return series, tree, cm
+    wall = wallclock.monotonic() - t0
+    return series, tree, cm, wall
 
 
-def measure_disarmed():
+def measure_disarmed(substrate: str = "treap"):
     """The identical stream with telemetry off (the bit-identity control)."""
     _, edges = gen.erdos_renyi(N, M, seed=21)
     cm = CostModel()
-    cd = CorenessDecomposition(N, eps=EPS, cm=cm, constants=CONSTANTS, seed=21)
+    cd = CorenessDecomposition(
+        N, eps=EPS, cm=cm, constants=CONSTANTS, seed=21, substrate=substrate
+    )
     for op in streams.insert_then_delete(edges, BATCH, seed=21):
         if op.kind == "insert":
             cd.insert_batch(op.edges)
@@ -62,7 +75,13 @@ def _aggregate_by_name(tree) -> dict[str, tuple[int, int]]:
 
 
 def run_experiment() -> Experiment:
-    series, tree, cm = measure()
+    series, tree, cm, wall_treap = measure()
+    _fs, flat_tree, flat_cm, wall_flat = measure("flat")
+    assert (flat_cm.work, flat_cm.depth, flat_tree.work) == (
+        cm.work,
+        cm.depth,
+        tree.work,
+    ), "the flat substrate must keep the phase tree and accounting bit-identical"
     by_name = _aggregate_by_name(tree)
     total = tree.work
     rows = [
@@ -73,7 +92,11 @@ def run_experiment() -> Experiment:
     table = render_table(["phase (self work)", "work", "share", "spans"], rows)
     write_bench(
         "e21_phase_breakdown", series, tree,
-        extra={"n": N, "m": M, "batch_size": BATCH, "eps": EPS},
+        extra={
+            "n": N, "m": M, "batch_size": BATCH, "eps": EPS,
+            "substrate_wall": {"treap": wall_treap, "flat": wall_flat},
+            "flat_speedup": wall_treap / max(wall_flat, 1e-9),
+        },
     )
     games = sum(w for n_, (w, _c) in by_name.items() if n_.startswith("game."))
     return Experiment(
@@ -96,7 +119,7 @@ def run_experiment() -> Experiment:
 
 
 def test_e21_phase_work_sums_to_total():
-    _series, tree, cm = measure()
+    _series, tree, cm, _wall = measure()
     assert tree.work == cm.work
     assert tree.total_self_work() == tree.work
     shares = phase_shares(tree)
@@ -104,15 +127,23 @@ def test_e21_phase_work_sums_to_total():
 
 
 def test_e21_bit_identical_when_armed():
-    _series, _tree, cm_armed = measure()
+    _series, _tree, cm_armed, _wall = measure()
     cm_bare = measure_disarmed()
     assert cm_armed.work == cm_bare.work
     assert cm_armed.depth == cm_bare.depth
     assert dict(cm_armed.counters) == dict(cm_bare.counters)
 
 
+def test_e21_flat_substrate_bit_identical():
+    cm_treap = measure_disarmed()
+    cm_flat = measure_disarmed("flat")
+    assert cm_treap.work == cm_flat.work
+    assert cm_treap.depth == cm_flat.depth
+    assert dict(cm_treap.counters) == dict(cm_flat.counters)
+
+
 def test_e21_games_dominate_dispatch():
-    _series, tree, _cm = measure()
+    _series, tree, _cm, _wall = measure()
     by_name = _aggregate_by_name(tree)
     games = sum(w for n, (w, _c) in by_name.items() if n.startswith("game."))
     assert games > 0.2 * tree.work

@@ -86,6 +86,22 @@ class Constants:
 
 DEFAULT_CONSTANTS = Constants()
 
+#: Storage substrates for the orientation state (docs/PERFORMANCE.md).
+#: ``treap`` is the historical per-object [PP01]-substitute; ``flat`` keeps
+#: the same ordered-set semantics on contiguous bisect-backed slabs
+#: (:mod:`repro.substrate`).  Answers, work, depth and counters are
+#: bit-identical across substrates — only wall-clock changes.
+SUBSTRATES = ("treap", "flat")
+
+
+def check_substrate(substrate: str) -> str:
+    """Validate a substrate name against :data:`SUBSTRATES`."""
+    if substrate not in SUBSTRATES:
+        raise ParameterError(
+            f"substrate must be one of {SUBSTRATES}, got {substrate!r}"
+        )
+    return substrate
+
 
 @dataclass(frozen=True)
 class ExecConfig:
@@ -115,23 +131,46 @@ class ExecConfig:
     task_retries:
         Pool-rebuild retry rounds before a failing task degrades to
         in-process execution.
+    substrate:
+        Storage substrate for the orientation state (:data:`SUBSTRATES`):
+        ``treap`` (historical per-object trees) or ``flat`` (contiguous
+        bisect-backed slabs).  Purely a wall-clock knob — all answers and
+        cost accounting are bit-identical across substrates.
+    shared_state:
+        With ``workers > 1``: use the resident-state backend
+        (:class:`~repro.pram.shmexec.SharedStateExecutor`) — rung state
+        is seeded into persistent workers once over
+        ``multiprocessing.shared_memory`` and every later batch ships
+        only the per-rung ops and a scalar accounting delta, instead of
+        pickling whole structures both ways per task.  Answers and cost
+        accounting stay bit-identical to the serial backend.
     """
 
     workers: int = 1
     rung_skip: bool = False
     task_timeout: float | None = None
     task_retries: int = 2
+    substrate: str = "treap"
+    shared_state: bool = False
 
     def make_executor(self):
         """Build the executor this configuration describes.
 
-        Returns a fresh :class:`~repro.pram.executor.SerialExecutor` or
-        :class:`~repro.pram.executor.ProcessExecutor`; the caller owns it
-        (``close()`` releases a process pool).
+        Returns a fresh :class:`~repro.pram.executor.SerialExecutor`,
+        :class:`~repro.pram.executor.ProcessExecutor`, or
+        :class:`~repro.pram.shmexec.SharedStateExecutor`; the caller owns
+        it (``close()`` releases pooled workers).
         """
         from .pram.executor import ProcessExecutor, SerialExecutor
 
         if self.workers > 1:
+            if self.shared_state:
+                from .pram.shmexec import SharedStateExecutor
+
+                return SharedStateExecutor(
+                    max_workers=self.workers,
+                    task_timeout=self.task_timeout,
+                )
             return ProcessExecutor(
                 max_workers=self.workers,
                 task_timeout=self.task_timeout,

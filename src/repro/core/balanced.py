@@ -34,12 +34,13 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Optional
 
-from ..config import DEFAULT_CONSTANTS, Constants, check_height
+from ..config import DEFAULT_CONSTANTS, Constants, check_height, check_substrate
 from ..errors import BatchError, InvariantViolation
 from ..graphs.graph import Edge, norm_edge
 from ..instrument import trace as _trace
 from ..instrument.work_depth import CostModel
 from ..resilience.guard import Transactional
+from ..substrate import inindex_cls, outset_cls
 from .inindex import InIndex
 from .levels import is_h_balanced_edge, levkey
 from .outset import OutSet
@@ -57,10 +58,14 @@ class BalancedOrientation(Transactional):
         cm: Optional[CostModel] = None,
         constants: Constants = DEFAULT_CONSTANTS,
         n_hint: int = 64,
+        substrate: str = "treap",
     ) -> None:
         self.H = check_height(H)
         self.cm = cm if cm is not None else CostModel()
         self.constants = constants
+        self.substrate = check_substrate(substrate)
+        self._outset_cls = outset_cls(substrate)
+        self._inx_cls = inindex_cls(substrate)
         self.out: dict[int, OutSet] = {}
         self.inx: dict[int, InIndex] = {}
         self.level: dict[int, int] = {}
@@ -72,6 +77,8 @@ class BalancedOrientation(Transactional):
         # undirected (min, max, copy) -> current tail
         self.tail_of: dict[tuple[int, int, int], int] = {}
         self._n_hint = max(2, n_hint)
+        self._logn_size = -1  # len(self.level) the cached _logn was computed at
+        self._logn_val = 1
         # change journal for Lemma 6.1's D_ins / D_del interfaces
         self.last_reversed: list[tuple[int, int, int]] = []  # (tail, head, copy) post-flip
         self.last_inserted: list[tuple[int, int, int]] = []
@@ -119,20 +126,42 @@ class BalancedOrientation(Transactional):
     def _outset(self, v: int) -> OutSet:
         outset = self.out.get(v)
         if outset is None:
-            outset = OutSet()
+            outset = self._outset_cls()
             self.out[v] = outset
         return outset
 
     def _inx(self, v: int) -> InIndex:
         index = self.inx.get(v)
         if index is None:
-            index = InIndex()
+            index = self._inx_cls()
             self.inx[v] = index
         return index
 
+    def _reset_storage(self) -> None:
+        """Drop every container to empty, preserving the substrate choice.
+
+        The single funnel through which snapshot restore and guard
+        rollback wipe the structure before replaying arcs — keeping the
+        rebuilt containers on the same substrate as the original.
+        """
+        self.out = {}
+        self.inx = {}
+        self.level = {}
+        self.tr_of = {}
+        self.label_of = {}
+        self.vertex_label = {}
+        self.tail_of = {}
+
     def _logn(self) -> int:
-        n = max(self._n_hint, len(self.level))
-        return max(1, int(math.ceil(math.log2(n))))
+        # cached on len(self.level): recomputing ceil(log2) per charge was
+        # measurable at game scale, and the value only moves when the
+        # vertex-universe size does.  Same formula, same values.
+        size = len(self.level)
+        if size != self._logn_size:
+            self._logn_size = size
+            n = max(self._n_hint, size)
+            self._logn_val = max(1, int(math.ceil(math.log2(n))))
+        return self._logn_val
 
     def _charge_arc_op(self) -> None:
         """The Lemma 4.3/4.4 per-edge rate: O(H log n) work and depth."""
@@ -161,20 +190,37 @@ class BalancedOrientation(Transactional):
         if outset is None:
             return
         hi = min(hi, len(outset))
+        lo = max(1, lo)
         # the positions re-file independently: O(span log n) work at one
         # O(log n) level of depth (a parallel scan over the window).
-        span = hi - max(1, lo) + 1
+        span = hi - lo + 1
         if span > 0:
-            self.cm.charge(work=span * self._logn(), depth=self._logn())
-        for position in range(max(1, lo), hi + 1):
-            head, copy = outset.select(position)
+            logn = self._logn()
+            self.cm.charge(work=span * logn, depth=logn)
+        # the stored and expected levels agree inside a window (both are
+        # levkey(level[tail])), so only (tr, label) can differ — this loop
+        # is _expected_filing unrolled with the level component hoisted.
+        lev = self._stored_lev(tail)
+        H = self.H
+        label_v = self.vertex_label.get(tail, 0)
+        tr_of, label_of, inx = self.tr_of, self.label_of, self.inx
+        position = lo - 1
+        for head, copy in outset.window(lo, hi):
+            position += 1
+            if position <= H:
+                tr, label = position, label_v
+            else:
+                tr, label = H + 1, 0
             arc = (tail, head, copy)
-            expected = self._expected_filing(tail, position)
-            stored = (self.tr_of[arc], self.label_of[arc], self._stored_lev(tail))
-            if stored != expected:
-                self._inx(head).move(tail_key(tail, copy), stored, expected)
-                self.tr_of[arc] = expected[0]
-                self.label_of[arc] = expected[1]
+            stored_tr = tr_of[arc]
+            stored_label = label_of[arc]
+            if stored_tr != tr or stored_label != label:
+                # a filed arc's head always has an in-index — direct hit
+                inx[head].move(
+                    (tail, copy), (stored_tr, stored_label, lev), (tr, label, lev)
+                )
+                tr_of[arc] = tr
+                label_of[arc] = label
 
     def _stored_lev(self, tail: int) -> int:
         return levkey(self.level.get(tail, 0), self.H)
@@ -207,7 +253,7 @@ class BalancedOrientation(Transactional):
             raise InvariantViolation(f"arc {arc} missing from out-set")
         position = outset.rank((head, copy))
         stored = (self.tr_of.pop(arc), self.label_of.pop(arc), self._stored_lev(tail))
-        self._inx(head).remove(tail_key(tail, copy), *stored)
+        self.inx[head].remove(tail_key(tail, copy), *stored)
         outset.remove((head, copy))
         self._refile(tail, position, self.H + 1)
         a, b = norm_edge(tail, head)
@@ -233,11 +279,12 @@ class BalancedOrientation(Transactional):
             if outset is not None:
                 old_lev = levkey(old, self.H)
                 new_lev = levkey(new, self.H)
-                for head, copy in list(outset):
+                tr_of, label_of, inx = self.tr_of, self.label_of, self.inx
+                for head, copy in outset:  # moves touch the index, not the set
                     arc = (v, head, copy)
-                    tr, label = self.tr_of[arc], self.label_of[arc]
-                    self._inx(head).move(
-                        tail_key(v, copy), (tr, label, old_lev), (tr, label, new_lev)
+                    tr, label = tr_of[arc], label_of[arc]
+                    inx[head].move(
+                        (v, copy), (tr, label, old_lev), (tr, label, new_lev)
                     )
             self._charge_arc_op()
         else:

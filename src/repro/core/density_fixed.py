@@ -29,6 +29,7 @@ import math
 from typing import Iterable, Literal, Optional
 
 from ..config import DEFAULT_CONSTANTS, Constants, check_eps, check_height
+from ..errors import BatchError
 from ..graphs.graph import norm_edge
 from ..instrument.work_depth import CostModel
 from ..pram.executor import RungTask, SerialExecutor
@@ -51,6 +52,7 @@ class FixedHDensityGuard(RungOps):
         constants: Constants = DEFAULT_CONSTANTS,
         seed: int = 0,
         executor: Optional[object] = None,
+        substrate: str = "treap",
     ) -> None:
         self.H = check_height(H)
         self.eps = check_eps(eps)
@@ -60,6 +62,7 @@ class FixedHDensityGuard(RungOps):
         self.B = constants.B(n, eps)
         self.cm = cm if cm is not None else CostModel()
         self.executor = executor if executor is not None else SerialExecutor()
+        self.substrate = substrate
         self.changed_edges: set[tuple[int, int]] = set()
 
         if self.H >= self.B / eps:
@@ -78,7 +81,8 @@ class FixedHDensityGuard(RungOps):
                 K = K + 1 if K + 1 <= constants.duplication_cap else K - 1
             self.K = K
             self.dup = DuplicatedBalanced(
-                self.H * self.K, self.K, cm=self.cm, constants=constants, n_hint=n
+                self.H * self.K, self.K, cm=self.cm, constants=constants, n_hint=n,
+                substrate=substrate,
             )
             self._buckets = {}
 
@@ -95,7 +99,8 @@ class FixedHDensityGuard(RungOps):
         bucket = self._buckets.get(i)
         if bucket is None:
             bucket = BalancedOrientation(
-                self.B, cm=self.cm, constants=self.constants, n_hint=self.n
+                self.B, cm=self.cm, constants=self.constants, n_hint=self.n,
+                substrate=self.substrate,
             )
             self._buckets[i] = bucket
         return bucket
@@ -196,7 +201,13 @@ class FixedHDensityGuard(RungOps):
     def orientation_of(self, u: int, v: int) -> tuple[int, int]:
         if self.regime == "duplication":
             return self.dup.majority_orientation(u, v)
-        return self._bucket(self._bucket_of(u, v)).orientation_of(u, v)
+        # .get, not _bucket(): a query must never materialise a bucket —
+        # reads have to leave the structure byte-for-byte unchanged so
+        # resident worker copies (SharedStateExecutor) stay coherent.
+        bucket = self._buckets.get(self._bucket_of(u, v))
+        if bucket is None:
+            raise BatchError(f"edge ({u}, {v}, copy=0) not present")
+        return bucket.orientation_of(u, v)
 
     def max_out_export(self) -> int:
         """Max out-degree of the exported orientation."""

@@ -50,6 +50,33 @@ from typing import Any, Iterable, Optional
 from ..pram.executor import RungTask, SerialExecutor
 
 
+class RungStore(list):
+    """Rung list that materialises resident-state placeholders on read.
+
+    The shared-state executor installs lazy handles (objects exposing
+    ``__materialize__``) where rung structures used to live, so steady
+    batches never pull worker-resident state back.  Every *read* of a
+    rung — queries, invariant checks, checkpoint capture, flushes —
+    resolves the handle in place; the dispatch loop uses :meth:`raw` so
+    routing a batch stays O(1) per rung regardless of residency.
+    """
+
+    def __getitem__(self, i):
+        item = list.__getitem__(self, i)
+        resolve = getattr(item, "__materialize__", None)
+        if resolve is not None:
+            item = resolve()
+            list.__setitem__(self, i, item)
+        return item
+
+    def __iter__(self):
+        return (self[i] for i in range(len(self)))
+
+    def raw(self, i: int):
+        """The stored entry (possibly a handle), without materialising."""
+        return list.__getitem__(self, i)
+
+
 class RungOps:
     """Mixin for rung structures: replay a deferred ``(method, edges)`` queue."""
 
@@ -79,6 +106,13 @@ class RungLadder:
     def _init_ladder(self, executor: Optional[Any], rung_skip: bool) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.rung_skip = bool(rung_skip)
+        #: handle-aware storage for the rungs (see :class:`RungStore`).
+        self.rungs = RungStore(self.rungs)
+        #: skip thresholds are pure functions of (H, B, regime) — cached at
+        #: init so the dispatch loop never has to materialise a rung.
+        self._skip_thresholds: list[int] = [
+            rung.skip_threshold() for rung in self.rungs
+        ]
         #: per-rung deferred (method, edges) queues (filtering only).
         self._pending: list[list[tuple[str, list]]] = [[] for _ in self.rungs]
         #: live[i] — rung i has processed every update so far.
@@ -108,11 +142,11 @@ class RungLadder:
         if self.rung_skip and not edges:
             skipped = len(self.rungs)  # empty effective bundle: nothing to do
         else:
-            for i, (rung, H) in enumerate(zip(self.rungs, self.heights)):
+            for i, H in enumerate(self.heights):
                 if (
                     self.rung_skip
                     and not self._live[i]
-                    and self._deg_bound < rung.skip_threshold()
+                    and self._deg_bound < self._skip_thresholds[i]
                 ):
                     self._pending[i].append((method, edges))
                     skipped += 1
@@ -126,7 +160,8 @@ class RungLadder:
                 ops.append((method, edges))
                 tasks.append(
                     RungTask(
-                        structure=rung,
+                        # raw: a resident rung ships as its handle (ops-only)
+                        structure=self.rungs.raw(i),
                         method="apply_ops",
                         args=(ops,),
                         span="ladder.rung",
@@ -227,4 +262,4 @@ class RungLadder:
             self._est_cache.pop(v, None)
 
 
-__all__ = ["RungLadder", "RungOps"]
+__all__ = ["RungLadder", "RungOps", "RungStore"]

@@ -56,6 +56,11 @@ class OutSet:
         top = min(k, len(self._treap))
         return [self._treap.select(i) for i in range(top)]
 
+    def window(self, lo: int, hi: int) -> list[int]:
+        """Neighbours at 1-indexed positions ``lo..hi`` inclusive (clamped)."""
+        top = min(hi, len(self._treap))
+        return [self._treap.select(i) for i in range(max(0, lo - 1), top)]
+
     def __iter__(self) -> Iterator[int]:
         return iter(self._treap)
 

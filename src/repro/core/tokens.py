@@ -73,18 +73,30 @@ def _run_drop_game(st: BalancedOrientation, bundle: list[tuple[int, int, int]]) 
                 _faults.ACTIVE.fire("tokens.drop.phase", st)
             frontier = sorted(v for v in token if st.level.get(v, 0) < H)
             proposals: list[tuple[int, tuple[int, int]]] = []
-            with st.cm.parallel() as region:
-                for v in frontier:
-                    with region.branch():
-                        lv = st.level.get(v, 0)
-                        outset = st.out.get(v)
-                        if outset is None:
-                            continue
-                        for head, copy in outset:  # <= H arcs while v is occupied
-                            st.cm.tick()
-                            if head not in token and st.level.get(head, 0) == lv - 1:
-                                proposals.append((head, (v, copy)))
-                                break
+            # One tick per scanned arc, one branch per frontier vertex:
+            # work = total arcs scanned, depth = the deepest single scan.
+            # Charged in aggregate (identical fold to per-branch ticks) —
+            # this scan runs millions of times and the per-branch frames
+            # dominated its wall-clock.
+            level_get = st.level.get
+            out_get = st.out.get
+            scanned_total = 0
+            scanned_max = 0
+            for v in frontier:
+                lv = level_get(v, 0)
+                outset = out_get(v)
+                if outset is None:
+                    continue
+                scanned = 0
+                for head, copy in outset:  # <= H arcs while v is occupied
+                    scanned += 1
+                    if head not in token and level_get(head, 0) == lv - 1:
+                        proposals.append((head, (v, copy)))
+                        break
+                scanned_total += scanned
+                if scanned > scanned_max:
+                    scanned_max = scanned
+            st.cm.charge(work=scanned_total, depth=scanned_max)
             if not proposals:
                 break
             proposals = parallel_sort(proposals, cm=st.cm)
@@ -146,23 +158,33 @@ def _run_push_game(st: BalancedOrientation, token: set[int]) -> None:
                         st._apply_vertex_label(u, 2 * (u in S) + 1)
             labeled = set(token)
             moved = False
+            # S is frozen for the whole phase; sort it once, not per round
+            S_sorted = sorted(S)
 
             with _trace.span("game.push.ranks"):
+                inx_get = st.inx.get
+                level_get = st.level.get
                 for i in range(1, H + 1):  # rank rounds
                     sends: list[tuple[int, tuple[int, int]]] = []
-                    with st.cm.parallel() as region:
-                        for v in sorted(S):
-                            if v not in token:
-                                continue  # already sent its token this phase
-                            with region.branch():
-                                st._charge_lookup()
-                                index = st.inx.get(v)
-                                if index is None:
-                                    continue
-                                lv = st.level.get(v, 0)
-                                wkey = index.any_at(i, 0, lv + 1)
-                                if wkey is not None:
-                                    sends.append((v, wkey))
+                    # One charged BST probe per branch, no mutations inside
+                    # the region, so every branch costs exactly (logn, logn)
+                    # — the fold is probes*logn work at logn depth, charged
+                    # in aggregate (bit-identical to per-branch charges;
+                    # the frames were the hot path).
+                    probes = 0
+                    for v in S_sorted:
+                        if v not in token:
+                            continue  # already sent its token this phase
+                        probes += 1
+                        index = inx_get(v)
+                        if index is None:
+                            continue
+                        wkey = index.any_at(i, 0, level_get(v, 0) + 1)
+                        if wkey is not None:
+                            sends.append((v, wkey))
+                    if probes:
+                        logn = st._logn()
+                        st.cm.charge(work=probes * logn, depth=logn)
                     # canonical order: each v sends at most once, so sorting makes
                     # the flip sequence a pure function of the phase's input.
                     for v, (w, copy) in sorted(sends):
@@ -188,18 +210,21 @@ def _run_push_game(st: BalancedOrientation, token: set[int]) -> None:
             # truncated-rank H+1 round: transparent tokens
             with _trace.span("game.push.truncated"):
                 sends = []
-                with st.cm.parallel() as region:
-                    for v in sorted(S):
-                        if v not in token or st.level.get(v, 0) != H - 1:
-                            continue
-                        with region.branch():
-                            st._charge_lookup()
-                            tindex = st.inx.get(v)
-                            if tindex is None:
-                                continue
-                            twkey = tindex.any_truncated(H + 1, H)
-                            if twkey is not None:
-                                sends.append((v, twkey))
+                # same aggregate fold as the rank rounds above
+                probes = 0
+                for v in S_sorted:
+                    if v not in token or st.level.get(v, 0) != H - 1:
+                        continue
+                    probes += 1
+                    tindex = st.inx.get(v)
+                    if tindex is None:
+                        continue
+                    twkey = tindex.any_truncated(H + 1, H)
+                    if twkey is not None:
+                        sends.append((v, twkey))
+                if probes:
+                    logn = st._logn()
+                    st.cm.charge(work=probes * logn, depth=logn)
                 for v, (w, copy) in sorted(sends):
                     st._flip(w, v, copy)
                     token.discard(v)

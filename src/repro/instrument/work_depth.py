@@ -109,24 +109,20 @@ class CostModel:
 
     # -- parallel structure ------------------------------------------------
 
-    @contextmanager
-    def parallel(self) -> Iterator["ParallelRegion"]:
+    def parallel(self) -> "_ParallelCtx":
         """Open a parallel region; close it to fold branches into the parent.
 
         Work of the region = sum of branch works; depth = max of branch
         depths.  Ticks issued directly inside the region (outside any
         branch) are treated as sequential region overhead.
+
+        Returns a plain-class context manager (not a ``@contextmanager``
+        generator): the token games open millions of regions/branches per
+        run and the generator protocol's two ``next()`` trampolines per
+        ``with`` block dominated their wall-clock.  The accounting fold is
+        unchanged.
         """
-        region = ParallelRegion(self)
-        overhead = _Frame()
-        self._stack.append(overhead)
-        try:
-            yield region
-        finally:
-            self._stack.pop()
-            parent = self._stack[-1]
-            parent.work += overhead.work + region._pf.work_sum
-            parent.depth += overhead.depth + region._pf.depth_max
+        return _ParallelCtx(self)
 
     def pfor(self, items: Iterable[T], fn: Callable[[T], U]) -> list[U]:
         """Apply ``fn`` to every item as parallel branches; return results.
@@ -193,6 +189,33 @@ class CostModel:
         self.counters = {}
 
 
+class _ParallelCtx:
+    """``with cm.parallel() as region`` — enter pushes the overhead frame,
+    exit folds branch sums/maxes into the parent (exception-safe, same as
+    the former ``finally`` block)."""
+
+    __slots__ = ("_cm", "_region", "_overhead")
+
+    def __init__(self, cm: CostModel) -> None:
+        self._cm = cm
+
+    def __enter__(self) -> "ParallelRegion":
+        self._region = region = ParallelRegion(self._cm)
+        self._overhead = overhead = _Frame()
+        self._cm._stack.append(overhead)
+        return region
+
+    def __exit__(self, *exc: object) -> bool:
+        stack = self._cm._stack
+        stack.pop()
+        parent = stack[-1]
+        pf = self._region._pf
+        overhead = self._overhead
+        parent.work += overhead.work + pf.work_sum
+        parent.depth += overhead.depth + pf.depth_max
+        return False
+
+
 class ParallelRegion:
     """Handle yielded by :meth:`CostModel.parallel`."""
 
@@ -202,17 +225,34 @@ class ParallelRegion:
         self._cm = cm
         self._pf = _ParallelFrame()
 
-    @contextmanager
-    def branch(self) -> Iterator[None]:
+    def branch(self) -> "_Branch":
         """One parallel branch; its work sums, its depth maxes."""
-        frame = _Frame()
-        self._cm._stack.append(frame)
-        try:
-            yield
-        finally:
-            self._cm._stack.pop()
-            self._pf.work_sum += frame.work
-            self._pf.depth_max = max(self._pf.depth_max, frame.depth)
+        return _Branch(self)
+
+
+class _Branch:
+    """One ``with region.branch():`` block — a fresh frame on the stack,
+    folded into the region's (sum, max) accumulators on exit."""
+
+    __slots__ = ("_region", "_frame")
+
+    def __init__(self, region: ParallelRegion) -> None:
+        self._region = region
+
+    def __enter__(self) -> None:
+        self._frame = frame = _Frame()
+        self._region._cm._stack.append(frame)
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        region = self._region
+        region._cm._stack.pop()
+        frame = self._frame
+        pf = region._pf
+        pf.work_sum += frame.work
+        if frame.depth > pf.depth_max:
+            pf.depth_max = frame.depth
+        return False
 
 
 class NullCostModel(CostModel):

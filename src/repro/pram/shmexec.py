@@ -1,0 +1,630 @@
+"""Resident-state executor: rung state lives in the workers.
+
+:class:`~repro.pram.executor.ProcessExecutor` pickles every task's whole
+structure out and a mutated whole structure back, every batch.  For the
+ladder sweep that round trip dominates wall-clock: the structures are
+large and change only a little per batch.  This module keeps each rung's
+structure *resident* in a persistent worker process instead:
+
+* **Seed once** — the first dispatch of a structure publishes its pickle
+  (cost model factored out, the :func:`~repro.pram.executor.dump_structure`
+  wire format) through a :class:`~repro.substrate.shm.ShmArena`
+  ``multiprocessing.shared_memory`` segment; the owning worker attaches,
+  copies, unpickles, and caches it under a state key.
+* **Ship deltas after** — every later batch sends only the per-rung ops
+  (``(method, args)`` — a few edges) down the worker's pipe and receives
+  a scalar :class:`~repro.pram.executor.WorkerDelta` back.  No structure
+  bytes cross in either direction.
+* **Materialise lazily** — the coordinator installs a
+  :class:`ResidentHandle` where the structure used to live.  The first
+  coordinator-side *read* (a query, an invariant check, a checkpoint)
+  fetches the current pickle back from the worker and swaps the real
+  object in; sweeps that are never read between batches never pay for it.
+
+Bit-identity contract: the worker applies exactly the method the serial
+backend would have run, against a persistent per-key cost model whose
+top frame accumulates sequentially, so the per-task scalar difference
+equals what a fresh model records; the coordinator replays it through
+:func:`~repro.pram.executor.merge_delta` inside the same span/branch
+shape as the other backends (``repro profile --check --workers N
+--shared-state`` enforces this end to end).
+
+Coherence contract: the ops-only fast path fires **only** when the
+task's structure *is* the unexpired handle this executor installed —
+the coordinator never even unpickled the state since the worker produced
+it, so no coordinator-side mutation can have diverged.  Any
+materialisation that re-enters the sweep as a real object downgrades
+that structure to a fresh seed.
+
+Fault handling is deliberately coarse: any worker death, hang, or pipe
+error retires the whole resident fleet for the rest of the sweep and
+fails over to in-process execution with worker-identical payload
+semantics, rebuilding each task's pre-op state from its recorded
+seed + op history (a charge-free deterministic replay).  Every record is
+retired, so the next sweep reseeds onto fresh workers.  Degradations are
+published to the metrics registry, never to the cost model.  Task-level
+exceptions (a structure-method bug) are not retried: the sweep drains
+every outstanding reply — keeping coordinator records coherent with the
+worker states — merges nothing, and propagates, exactly the
+all-or-nothing collection the other backends implement.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..instrument import telemetry as _telemetry
+from ..instrument import trace as _trace
+from ..instrument import wallclock as _wallclock
+from ..instrument.telemetry import Tracer
+from ..instrument.wallclock import ExecutorStats, RoundWall, TaskWall
+from ..instrument.work_depth import CostModel
+from ..substrate.shm import ShmArena
+from .executor import (
+    RungTask,
+    WorkerDelta,
+    _task_label,
+    dump_structure,
+    load_structure,
+    merge_delta,
+    run_task_worker,
+)
+
+#: stamp left on a materialised structure so a later reseed can evict the
+#: superseded worker-side cache entry (popped before any pickling).
+_PREV_STAMP = "_resident_prev"
+
+
+def _identity(x: Any) -> Any:
+    return x
+
+
+@dataclass
+class _StateRecord:
+    """Coordinator-side lineage of one resident structure."""
+
+    key: int
+    worker: int
+    seed_blob: bytes
+    #: ops applied since the seed; state at version v == seed + ops[:v].
+    ops: list[tuple[str, tuple]] = field(default_factory=list)
+    version: int = 0
+    #: the coordinator cost model the structure's ``cm`` refs rebind to.
+    cm: Optional[CostModel] = None
+    #: retired records refuse the fast path; handles replay instead.
+    dead: bool = False
+
+
+class ResidentHandle:
+    """Placeholder for a structure whose current state lives in a worker.
+
+    Reading it (``__materialize__``) pulls the state back: a live fetch
+    from the owning worker when the record is current, otherwise a
+    deterministic replay of ``seed + ops[:version]`` against a scratch
+    cost model (charges suppressed — the original run already paid).
+    Pickling or deep-copying a handle materialises first, so snapshots,
+    checkpoints and rollback envelopes always see a real structure.
+    """
+
+    def __init__(
+        self, executor: "SharedStateExecutor", record: _StateRecord, version: int
+    ) -> None:
+        self._executor = executor
+        self._record = record
+        self.key = record.key
+        self.version = version
+
+    def __materialize__(self) -> Any:
+        return self._executor._materialize(self)
+
+    def __deepcopy__(self, memo: dict) -> Any:
+        import copy
+
+        return copy.deepcopy(self.__materialize__(), memo)
+
+    def __reduce__(self):
+        return (_identity, (self.__materialize__(),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResidentHandle(key={self.key}, version={self.version})"
+
+
+# -- the worker ----------------------------------------------------------------
+
+
+def _apply_delta_run(
+    structure: Any, cm: CostModel, method: str, args: tuple, armed: bool
+) -> WorkerDelta:
+    """Run one resident task; return the scalar accounting difference.
+
+    The model's top frame accumulates sequentially (works sum, depths
+    sum), so the pre/post difference is exactly what a fresh model would
+    have recorded for the method — the quantity the serial backend's
+    inline branch contributes.
+    """
+    pre_work, pre_depth = cm.work, cm.depth
+    pre_counters = dict(cm.counters)
+    events: list[dict] = []
+    tree = None
+    mismatches = 0
+    t0 = _wallclock.monotonic()
+    if armed:
+        tracer = Tracer(cm, strict=False, sinks=[events.append])
+        with _trace.tracing(tracer):
+            getattr(structure, method)(*args)
+        tree = tracer.root
+        mismatches = tracer.frame_mismatches
+    else:
+        getattr(structure, method)(*args)
+    compute_s = max(0.0, _wallclock.monotonic() - t0)
+    counters = {
+        name: value - pre_counters.get(name, 0)
+        for name, value in cm.counters.items()
+        if value != pre_counters.get(name, 0)
+    }
+    return WorkerDelta(
+        work=cm.work - pre_work,
+        depth=cm.depth - pre_depth,
+        counters=counters,
+        tree=tree,
+        events=events,
+        frame_mismatches=mismatches,
+        compute_s=compute_s,
+    )
+
+
+def _worker_main(conn) -> None:
+    """Persistent worker loop: resident state keyed by the coordinator.
+
+    Reply discipline (the coordinator counts on it): ``run``, ``dump``
+    and ``stateless`` produce exactly one reply each; ``seed``,
+    ``replay``, ``drop`` and ``exit`` produce none.  A failure inside a
+    reply-less message poisons its key instead of replying — the next
+    ``run``/``dump`` on that key reports it — so the pipe never carries
+    an unexpected message.
+    """
+    cache: dict[int, tuple[Any, CostModel, int]] = {}
+    poison: dict[int, tuple[BaseException, str]] = {}
+
+    def fail(exc: BaseException) -> tuple:
+        try:
+            import pickle
+
+            pickle.dumps(exc)
+            return ("error", exc, traceback.format_exc())
+        except Exception:
+            return ("error", RuntimeError(repr(exc)), traceback.format_exc())
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # coordinator went away
+            return
+        kind = msg[0]
+        if kind == "exit":
+            return
+        if kind in ("run", "dump", "stateless"):
+            try:
+                if kind == "stateless":
+                    conn.send(("result", run_task_worker(msg[1])))
+                    continue
+                key = msg[1]
+                if key in poison:
+                    exc, tb = poison.pop(key)
+                    conn.send(("error", exc, tb))
+                    continue
+                if kind == "run":
+                    _kind, key, version, method, args, armed, t_submit = msg
+                    t_pickup = _wallclock.monotonic()
+                    structure, cm, have = cache[key]
+                    if have != version:
+                        raise RuntimeError(
+                            f"resident state {key} at version {have}, "
+                            f"coordinator expected {version}"
+                        )
+                    delta = _apply_delta_run(structure, cm, method, args, armed)
+                    delta.queue_s = max(0.0, t_pickup - t_submit)
+                    cache[key] = (structure, cm, version + 1)
+                    conn.send(("delta", delta))
+                else:  # dump
+                    structure, _cm, _version = cache[msg[1]]
+                    conn.send(("blob", dump_structure(structure)))
+            except BaseException as exc:  # noqa: BLE001 - forwarded verbatim
+                if kind == "run":
+                    cache.pop(msg[1], None)  # state is suspect mid-method
+                conn.send(fail(exc))
+        else:
+            try:
+                if kind == "seed":
+                    _kind, key, name, size = msg
+                    blob = ShmArena.read(name, size)
+                    cm = CostModel()
+                    poison.pop(key, None)
+                    cache[key] = (load_structure(blob, cm), cm, 0)
+                elif kind == "replay":
+                    _kind, key, ops = msg
+                    structure, cm, version = cache[key]
+                    for method, args in ops:
+                        getattr(structure, method)(*args)
+                    cache[key] = (structure, cm, version + len(ops))
+                elif kind == "drop":
+                    cache.pop(msg[1], None)
+                    poison.pop(msg[1], None)
+            except BaseException as exc:  # noqa: BLE001 - reported on next use
+                if len(msg) > 1:
+                    cache.pop(msg[1], None)
+                    poison[msg[1]] = (exc, traceback.format_exc())
+
+
+# -- the coordinator -----------------------------------------------------------
+
+
+class SharedStateExecutor:
+    """Run ladder sweeps against worker-resident structures.
+
+    Drop-in for :class:`~repro.pram.executor.ProcessExecutor` at the
+    ``run_structures`` surface.  Tasks carrying a ``finish`` callback
+    (the density guard's bucket sweep absorbs journals coordinator-side,
+    so it needs a real replacement every sweep) take the stateless
+    round-trip path automatically; everything else goes resident.
+    ``map`` is served in-process — the resident protocol only pays off
+    for stateful sweeps.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        task_timeout: float | None = None,
+    ) -> None:
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.task_timeout = task_timeout
+        self.stats = ExecutorStats("shm")
+        self.arena = ShmArena(tag=f"repro{os.getpid()}")
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else None)
+        self._procs: list[Optional[Any]] = [None] * self.max_workers
+        self._conns: list[Optional[Any]] = [None] * self.max_workers
+        self._records: dict[int, _StateRecord] = {}
+        self._next_key = 0
+        self._pending_drops: list[tuple[int, int]] = []  # (worker, key)
+        self._broken = False
+        self._merge_cm: Optional[CostModel] = None
+
+    # worker handles cannot travel; a pickled executor rebuilds empty.
+    def __reduce__(self):
+        return (SharedStateExecutor, (self.max_workers, self.task_timeout))
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _conn(self, i: int):
+        if self._conns[i] is None:
+            # make sure the resource tracker exists before forking so all
+            # workers share it (segment bookkeeping stays in one place).
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+            parent, child = self._ctx.Pipe()
+            proc = self._ctx.Process(target=_worker_main, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self._procs[i], self._conns[i] = proc, parent
+        return self._conns[i]
+
+    def _kill_workers(self) -> None:
+        for i, proc in enumerate(self._procs):
+            if proc is not None:
+                proc.terminate()
+                proc.join(timeout=5)
+            self._procs[i] = None
+            if self._conns[i] is not None:
+                self._conns[i].close()
+                self._conns[i] = None
+
+    def close(self) -> None:
+        """Shut every worker down and release all shared segments."""
+        for conn in self._conns:
+            if conn is not None:
+                try:
+                    conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
+        self._kill_workers()
+        self._records.clear()
+        self._pending_drops.clear()
+        self.arena.close()
+
+    def __enter__(self) -> "SharedStateExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def map(self, fn, items: Sequence) -> list:
+        with _trace.span("pram.map", detail={"items": len(items)}, backend="shm"):
+            return [fn(item) for item in items]
+
+    # -- resident-state bookkeeping -----------------------------------------
+
+    def _rebuild(self, record: _StateRecord, version: int) -> Any:
+        """Deterministically replay ``seed + ops[:version]``, charge-free.
+
+        The replay binds every ``cm`` reference to a scratch model (the
+        original run already charged the real one), then rebinds to the
+        record's coordinator model via one dump/load round trip.
+        """
+        scratch = CostModel()
+        structure = load_structure(record.seed_blob, scratch)
+        for method, args in record.ops[:version]:
+            getattr(structure, method)(*args)
+        structure = load_structure(
+            dump_structure(structure), record.cm or CostModel()
+        )
+        structure.__dict__[_PREV_STAMP] = (record.worker, record.key)
+        return structure
+
+    def _materialize(self, handle: ResidentHandle) -> Any:
+        record = handle._record
+        if (
+            not record.dead
+            and not self._broken
+            and record.version == handle.version
+            and self._conns[record.worker] is not None
+        ):
+            conn = self._conns[record.worker]
+            try:
+                conn.send(("dump", record.key))
+                reply = self._recv(conn)
+                if reply[0] == "blob":
+                    structure = load_structure(reply[1], record.cm or CostModel())
+                    structure.__dict__[_PREV_STAMP] = (record.worker, record.key)
+                    return structure
+            except (TimeoutError, BrokenPipeError, EOFError, OSError):
+                self._breakdown()
+        return self._rebuild(record, handle.version)
+
+    def _recv(self, conn) -> tuple:
+        if self.task_timeout is not None and not conn.poll(self.task_timeout):
+            raise TimeoutError("resident worker did not answer in time")
+        return conn.recv()
+
+    def _breakdown(self) -> None:
+        """Retire the whole resident fleet (handles fall back to replay)."""
+        self._broken = True
+        for record in self._records.values():
+            record.dead = True
+        self._pending_drops.clear()
+        self._kill_workers()
+
+    # -- the sweep ----------------------------------------------------------
+
+    def run_structures(self, cm: CostModel, tasks: Sequence[RungTask]) -> None:
+        """Fan tasks out to resident workers; merge scalar deltas in order.
+
+        Merge order is task order — identical to the serial backend — and
+        nothing is installed until every task's delta (or degraded
+        result) is in, so counters, span aggregation and event sequences
+        line up exactly (the delta-merge contract, docs/PERFORMANCE.md).
+        """
+        tasks = list(tasks)
+        armed = _trace.ACTIVE is not None
+        self._merge_cm = cm
+        self._broken = False
+        t_round = _wallclock.monotonic()
+        with _trace.span("pram.map", detail={"items": len(tasks)}, backend="shm"):
+            self._flush_drops()
+            plans = [self._dispatch(task, armed) for task in tasks]
+            t_submitted = _wallclock.monotonic()
+            replies = self._collect(plans, armed)
+            t_returned = _wallclock.monotonic()
+            walls: list[TaskWall] = []
+            with cm.parallel() as region:
+                for task, plan, (delta, replacement) in zip(tasks, plans, replies):
+                    with region.branch():
+                        if task.span is not None:
+                            with _trace.span(task.span, **task.attrs):
+                                merge_delta(cm, delta)
+                                if task.finish is not None:
+                                    task.finish(replacement)
+                        else:
+                            merge_delta(cm, delta)
+                            if task.finish is not None:
+                                task.finish(replacement)
+                    if task.install is not None:
+                        task.install(replacement)
+                    walls.append(
+                        TaskWall(
+                            label=_task_label(task),
+                            payload_bytes=plan.get("payload_bytes", 0),
+                            serialize_s=plan.get("serialize_s", 0.0),
+                            queue_s=delta.queue_s,
+                            compute_s=delta.compute_s,
+                            worker_pickle_s=delta.pickle_s,
+                        )
+                    )
+            t_merged = _wallclock.monotonic()
+        self.stats.record_round(
+            RoundWall(
+                backend="shm",
+                workers=self.max_workers,
+                wall_s=max(0.0, t_merged - t_round),
+                serialize_s=sum(p.get("serialize_s", 0.0) for p in plans),
+                wait_s=max(0.0, t_returned - t_submitted),
+                merge_s=max(0.0, t_merged - t_returned),
+                tasks=walls,
+            ),
+            registry=_telemetry.REGISTRY,
+        )
+
+    def _flush_drops(self) -> None:
+        """Evict superseded worker-side cache entries (best-effort)."""
+        if self._broken or not self._pending_drops:
+            self._pending_drops = []
+            return
+        for worker, key in self._pending_drops:
+            conn = self._conns[worker]
+            if conn is not None:
+                try:
+                    conn.send(("drop", key))
+                except (BrokenPipeError, OSError):
+                    pass
+        self._pending_drops = []
+
+    def _dispatch(self, task: RungTask, armed: bool) -> dict:
+        """Send one task; return the plan needed to collect (or recover) it."""
+        structure = task.structure
+        handle = structure if isinstance(structure, ResidentHandle) else None
+        fast = (
+            handle is not None
+            and not self._broken
+            and not handle._record.dead
+            and handle._record.version == handle.version
+            and task.finish is None
+        )
+        try:
+            if fast:
+                record = handle._record
+                conn = self._conn(record.worker)
+                conn.send(
+                    ("run", record.key, record.version, task.method, task.args,
+                     armed, _wallclock.monotonic())
+                )
+                record.ops.append((task.method, task.args))
+                return {
+                    "mode": "run", "record": record, "conn": conn,
+                    "method": task.method, "args": task.args,
+                }
+            if handle is not None:
+                structure = handle.__materialize__()
+            prev = structure.__dict__.pop(_PREV_STAMP, None) \
+                if hasattr(structure, "__dict__") else None
+            if prev is not None:
+                prev_record = next(
+                    (r for r in self._records.values() if r.key == prev[1]), None
+                )
+                if prev_record is not None:
+                    prev_record.dead = True
+                self._pending_drops.append(prev)
+            t0 = _wallclock.monotonic()
+            blob = dump_structure(structure)
+            serialize_s = max(0.0, _wallclock.monotonic() - t0)
+            if self._broken:
+                return {
+                    "mode": "inline",
+                    "payload": (blob, task.method, task.args, armed),
+                    "payload_bytes": len(blob), "serialize_s": serialize_s,
+                }
+            if task.finish is not None:
+                # stateless round trip (ProcessExecutor semantics): the
+                # finish callback needs a real replacement every sweep.
+                worker = self._next_key % self.max_workers
+                self._next_key += 1
+                conn = self._conn(worker)
+                payload = (blob, task.method, task.args, armed,
+                           _wallclock.monotonic())
+                conn.send(("stateless", payload))
+                return {
+                    "mode": "stateless", "conn": conn,
+                    "payload": payload[:4], "payload_bytes": len(blob),
+                    "serialize_s": serialize_s,
+                }
+            # seed + first resident run
+            key = self._next_key
+            self._next_key += 1
+            record = _StateRecord(
+                key=key, worker=key % self.max_workers, seed_blob=blob,
+                cm=getattr(structure, "cm", None),
+            )
+            self._records[key] = record
+            conn = self._conn(record.worker)
+            name, size = self.arena.publish(blob)
+            conn.send(("seed", key, name, size))
+            conn.send(
+                ("run", key, 0, task.method, task.args, armed,
+                 _wallclock.monotonic())
+            )
+            record.ops.append((task.method, task.args))
+            return {
+                "mode": "run", "record": record, "conn": conn,
+                "method": task.method, "args": task.args,
+                "segment": name, "payload_bytes": len(blob),
+                "serialize_s": serialize_s,
+            }
+        except (BrokenPipeError, EOFError, OSError):
+            self._breakdown()
+            if handle is not None and not isinstance(structure, ResidentHandle):
+                pass  # already materialised above
+            elif handle is not None:
+                structure = handle.__materialize__()
+            return {
+                "mode": "inline",
+                "payload": (dump_structure(structure), task.method, task.args, armed),
+            }
+
+    def _collect(self, plans: list[dict], armed: bool) -> list[tuple]:
+        """One ``(delta, replacement)`` per plan, in task order.
+
+        Every outstanding reply is drained even when a task raised, so
+        record versions stay coherent with the (still running) workers;
+        on a task bug nothing is merged and the error propagates.
+        Infrastructure failures instead retire the fleet and re-run the
+        remaining tasks in-process from their recorded lineage.
+        """
+        replies: list[Optional[tuple]] = [None] * len(plans)
+        error: Optional[BaseException] = None
+        for i, plan in enumerate(plans):
+            mode = plan["mode"]
+            if mode == "inline" or (self._broken and mode != "done"):
+                replies[i] = self._run_degraded(plan, armed)
+                continue
+            try:
+                reply = self._recv(plan["conn"])
+            except (TimeoutError, BrokenPipeError, EOFError, OSError):
+                self._breakdown()
+                replies[i] = self._run_degraded(plan, armed)
+                continue
+            finally:
+                if plan.get("segment"):
+                    self.arena.release(plan["segment"])
+            if reply[0] == "error":
+                record = plan.get("record")
+                if record is not None:
+                    record.ops.pop()  # the op never (fully) applied
+                    record.dead = True  # the worker retired its cache
+                if error is None:
+                    error = reply[1]
+                    error.__cause__ = RuntimeError(reply[2])
+                continue
+            if mode == "run":
+                record = plan["record"]
+                record.version += 1
+                handle = ResidentHandle(self, record, record.version)
+                replies[i] = (reply[1], handle)
+            else:  # stateless
+                blob, delta = reply[1]
+                replies[i] = (delta, load_structure(blob, self._merge_cm))
+        if error is not None:
+            raise error
+        return replies  # type: ignore[return-value]
+
+    def _run_degraded(self, plan: dict, armed: bool) -> tuple:
+        """Worker-identical in-process execution (degraded/inline path)."""
+        if plan["mode"] == "run":
+            record = plan["record"]
+            record.ops.pop()  # the op re-runs inline below
+            structure = self._rebuild(record, record.version)
+            structure.__dict__.pop(_PREV_STAMP, None)
+            record.dead = True
+            payload = (dump_structure(structure), plan["method"], plan["args"], armed)
+        else:
+            payload = plan["payload"]
+        if plan["mode"] != "inline":
+            _telemetry.REGISTRY.counter("repro_executor_degraded_total").inc(1)
+        blob, delta = run_task_worker(payload + (_wallclock.monotonic(),))
+        return (delta, load_structure(blob, self._merge_cm))
+
+
+__all__ = ["ResidentHandle", "SharedStateExecutor"]

@@ -82,6 +82,7 @@ def checkpoint(st: Any) -> dict[str, Any]:
         return {
             "type": "balanced",
             "H": snap["H"],
+            "substrate": snap["substrate"],
             "arcs": [list(a) for a in snap["arcs"]],
             "levels": {str(v): lvl for v, lvl in snap["levels"].items()},
         }
@@ -98,6 +99,7 @@ def checkpoint(st: Any) -> dict[str, Any]:
             "eps": st.eps,
             "seed": st.seed,
             "h_max": st.h_max,
+            "substrate": st.substrate,
             "constants": asdict(st.constants),
             "rungs": [_rung_state(rung) for rung in st.rungs],
         }
@@ -137,6 +139,7 @@ def restore_checkpoint(payload: dict[str, Any], cm: Optional[CostModel] = None) 
 
         snap = {
             "H": payload.get("H"),
+            "substrate": payload.get("substrate", "treap"),
             "arcs": [tuple(a) for a in payload.get("arcs", [])],
             "levels": payload.get("levels", {}),
         }
@@ -162,6 +165,7 @@ def restore_checkpoint(payload: dict[str, Any], cm: Optional[CostModel] = None) 
         constants=constants,
         seed=int(payload["seed"]),
         h_max=payload.get("h_max"),
+        substrate=payload.get("substrate", "treap"),
     )
     rungs = payload["rungs"]
     if len(rungs) != len(st.rungs):

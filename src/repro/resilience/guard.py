@@ -161,11 +161,14 @@ def _rebuild_balanced(st: Any, snap: Snapshot) -> None:
     trick ``core/snapshot.py`` uses, at the same O(m H log n) cost (charged
     through ``_arc_add``).
     """
-    st.out = {}
-    st.inx = {}
-    st.tr_of = {}
-    st.label_of = {}
-    st.tail_of = {}
+    if hasattr(st, "_reset_storage"):
+        st._reset_storage()  # preserves the substrate's container classes
+    else:  # pragma: no cover - every BalancedOrientation has _reset_storage
+        st.out = {}
+        st.inx = {}
+        st.tr_of = {}
+        st.label_of = {}
+        st.tail_of = {}
     st.level = dict(snap["level"])
     st.vertex_label = dict(snap["vertex_label"])
     for (a, b, copy), tail in snap["tail_of"].items():

@@ -1,0 +1,70 @@
+"""Shared-memory blob transport for the resident-state executor.
+
+:class:`ShmArena` is a small coordinator-owned registry of named
+``multiprocessing.shared_memory`` segments.  The coordinator publishes a
+structure blob once (`publish`), hands the ``(name, size)`` ticket to a
+worker over its pipe, and the worker attaches and copies the bytes out
+(`read`).  Segments are coordinator-owned: only the publishing process
+ever unlinks (`release` / `close`), so the resource tracker bookkeeping
+stays in one process and no segment outlives the executor.
+
+This is deliberately *transport*, not shared state: workers copy the
+blob and unpickle their own private structure.  The sharing win is that
+a seed blob crosses the process boundary exactly once per structure
+lifetime — every later batch ships only the per-rung ops (see
+:mod:`repro.pram.shmexec`).
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import shared_memory
+
+
+class ShmArena:
+    """Coordinator-side registry of published shared-memory blobs."""
+
+    def __init__(self, tag: str = "repro") -> None:
+        self._tag = tag
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def publish(self, blob: bytes) -> tuple[str, int]:
+        """Copy ``blob`` into a fresh named segment; return its ticket."""
+        # names must be unique machine-wide; a random suffix avoids both
+        # collisions across executors and guessable names.
+        name = f"{self._tag}_{secrets.token_hex(8)}"
+        seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(blob)))
+        seg.buf[: len(blob)] = blob
+        self._segments[seg.name] = seg
+        return seg.name, len(blob)
+
+    def release(self, name: str) -> None:
+        """Unlink a published segment (idempotent)."""
+        seg = self._segments.pop(name, None)
+        if seg is not None:
+            seg.close()
+            seg.unlink()
+
+    def close(self) -> None:
+        """Unlink every outstanding segment."""
+        for name in list(self._segments):
+            self.release(name)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @staticmethod
+    def read(name: str, size: int) -> bytes:
+        """Attach to a published segment and copy its payload out.
+
+        Safe from any process; the returned bytes are a private copy, so
+        the publisher may unlink as soon as the reader has returned.
+        """
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            return bytes(seg.buf[:size])
+        finally:
+            seg.close()
+
+
+__all__ = ["ShmArena"]

@@ -1,0 +1,281 @@
+"""Substrate equivalence: flat vs treap, property-tested end to end.
+
+The flat substrate's contract (docs/PERFORMANCE.md) is that it is a pure
+wall-clock knob: for any batch stream, every query answer *and* every
+cost-model total (work, depth, counters) is bit-identical to the treap
+substrate — including through ``guarded()`` rollback and checkpoint
+round trips.  The hypothesis driver below generates arbitrary
+insert/delete streams (normalised so deletes only touch live edges, the
+structures' own precondition) and diffs full ladder state between the
+two substrates after every batch.
+
+The resident-state executor (``SharedStateExecutor``) rides the same
+contract from the other side: rung state lives in persistent workers and
+only ops + scalar deltas cross the process boundary, yet answers and
+accounting must match the serial backend exactly, on either substrate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Constants, ExecConfig
+from repro.core.coreness import CorenessDecomposition
+from repro.core.density import DensityEstimator
+from repro.core.ladder import RungStore
+from repro.graphs.graph import norm_edge
+from repro.resilience.checkpoint import checkpoint, restore_checkpoint
+from repro.resilience.guard import guarded
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+N = 16
+
+
+# -- stream generation ---------------------------------------------------------
+
+_edges = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    min_size=1,
+    max_size=8,
+)
+
+_raw_stream = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), _edges),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _normalise(raw):
+    """Turn a raw op list into a stream the structures accept.
+
+    Inserts drop self-loops, duplicates within the batch, and edges
+    already live; deletes keep only currently-live edges.  The result is
+    deterministic in the raw stream, so both substrates replay the exact
+    same batches.
+    """
+    live: set[tuple[int, int]] = set()
+    ops = []
+    for kind, edges in raw:
+        batch = _valid_batch(kind, edges, live)
+        if not batch:
+            continue
+        live.update(batch) if kind == "insert" else live.difference_update(batch)
+        ops.append((kind, batch))
+    return ops
+
+
+def _valid_batch(kind, edges, live):
+    """The subset of ``edges`` the structures accept against ``live``."""
+    batch = []
+    for u, v in edges:
+        if u == v:
+            continue
+        e = norm_edge(u, v)
+        if kind == "insert" and e not in live and e not in batch:
+            batch.append(e)
+        elif kind == "delete" and e in live and e not in batch:
+            batch.append(e)
+    return batch
+
+
+class _Pair:
+    """One (coreness, density) ladder pair on a given substrate."""
+
+    def __init__(self, substrate, seed=5):
+        from repro.instrument.work_depth import CostModel
+
+        self.cm = CostModel()
+        self.core = CorenessDecomposition(
+            N, eps=0.3, cm=self.cm, constants=SMALL, seed=seed,
+            substrate=substrate,
+        )
+        self.dens = DensityEstimator(
+            N, eps=0.3, cm=self.cm, constants=SMALL, seed=seed,
+            substrate=substrate,
+        )
+
+    def apply(self, kind, edges):
+        for st_ in (self.core, self.dens):
+            if kind == "insert":
+                st_.insert_batch(edges)
+            else:
+                st_.delete_batch(edges)
+
+    def observe(self):
+        return (
+            tuple(sorted(self.core.estimates().items())),
+            self.core.max_estimate(),
+            self.dens.density_estimate(),
+            self.dens.arboricity_estimate(),
+            self.dens.max_outdegree(),
+        )
+
+    def totals(self):
+        return (self.cm.work, self.cm.depth, dict(sorted(self.cm.counters.items())))
+
+
+# -- the equivalence property --------------------------------------------------
+
+
+class TestFlatTreapEquivalence:
+    @given(raw=_raw_stream)
+    @settings(max_examples=20, deadline=None)
+    def test_stream_bit_identical(self, raw):
+        ops = _normalise(raw)
+        treap, flat = _Pair("treap"), _Pair("flat")
+        for kind, edges in ops:
+            treap.apply(kind, edges)
+            flat.apply(kind, edges)
+            assert flat.observe() == treap.observe()
+            assert flat.totals() == treap.totals()
+        treap.core.check_invariants()
+        flat.core.check_invariants()
+
+    @given(raw=_raw_stream, boom_at=st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_guarded_rollback_bit_identical(self, raw, boom_at):
+        """A rolled-back batch leaves both substrates in the same state.
+
+        One batch (index ``boom_at``) is applied under ``guarded()`` and
+        aborted mid-transaction; the rollback must restore both ladders
+        to states that keep agreeing — answers and accounting — for the
+        rest of the stream.  Batches are validated against the *actual*
+        live edge set, which the rolled-back batch never joins — a later
+        op must not assume the aborted batch landed.
+        """
+        treap, flat = _Pair("treap"), _Pair("flat")
+        live: set = set()
+        index = 0
+        for kind, edges in raw:
+            batch = _valid_batch(kind, edges, live)
+            if not batch:
+                continue
+            if index == boom_at:
+                # aborted: the ladders — and therefore ``live`` — are
+                # rolled back to their pre-batch state.
+                for pair in (treap, flat):
+                    with pytest.raises(RuntimeError):
+                        with guarded(pair.core):
+                            with guarded(pair.dens):
+                                pair.apply(kind, batch)
+                                raise RuntimeError("forced abort")
+            else:
+                treap.apply(kind, batch)
+                flat.apply(kind, batch)
+                if kind == "insert":
+                    live.update(batch)
+                else:
+                    live.difference_update(batch)
+            index += 1
+            assert flat.observe() == treap.observe()
+            assert flat.totals() == treap.totals()
+
+    @given(raw=_raw_stream)
+    @settings(max_examples=10, deadline=None)
+    def test_checkpoint_round_trip_bit_identical(self, raw):
+        """Checkpoints agree modulo the substrate tag and restore cleanly —
+        including *across* substrates (a treap checkpoint restored onto
+        flat answers identically)."""
+        ops = _normalise(raw)
+        treap, flat = _Pair("treap"), _Pair("flat")
+        for kind, edges in ops:
+            treap.apply(kind, edges)
+            flat.apply(kind, edges)
+        for st_t, st_f in ((treap.core, flat.core), (treap.dens, flat.dens)):
+            pay_t, pay_f = checkpoint(st_t), checkpoint(st_f)
+            assert pay_t["substrate"] == "treap"
+            assert pay_f["substrate"] == "flat"
+            pay_f_as_t = dict(pay_f, substrate="treap")
+            assert pay_t == pay_f_as_t  # logical state identical
+            back_f = restore_checkpoint(pay_f)
+            assert back_f.substrate == "flat"
+            # cross-substrate restore: treap payload onto flat layout
+            cross = restore_checkpoint(dict(pay_t, substrate="flat"))
+            assert cross.substrate == "flat"
+            for q in ("estimates",) if hasattr(st_t, "estimates") else ():
+                assert getattr(back_f, q)() == getattr(st_t, q)()
+                assert getattr(cross, q)() == getattr(st_t, q)()
+        assert flat.observe() == treap.observe()
+
+
+# -- the resident-state executor ----------------------------------------------
+
+
+def _drive(workers, shared_state, substrate, query_every=0):
+    from repro.graphs import generators, streams
+
+    n, edges = generators.erdos_renyi(24, 70, seed=3)
+    ex = ExecConfig(workers=workers, shared_state=shared_state).make_executor()
+    try:
+        from repro.instrument.work_depth import CostModel
+
+        cm = CostModel()
+        core = CorenessDecomposition(
+            n, eps=0.3, cm=cm, constants=SMALL, seed=3,
+            executor=ex, substrate=substrate,
+        )
+        dens = DensityEstimator(
+            n, eps=0.3, cm=cm, constants=SMALL, seed=3,
+            executor=ex, substrate=substrate,
+        )
+        for k, op in enumerate(streams.insert_then_delete(edges, 10, seed=3)):
+            if op.kind == "insert":
+                core.insert_batch(op.edges)
+                dens.insert_batch(op.edges)
+            else:
+                core.delete_batch(op.edges)
+                dens.delete_batch(op.edges)
+            if query_every and (k + 1) % query_every == 0:
+                # mid-stream queries materialise resident rungs and force
+                # the executor back through its reseed path
+                core.max_estimate()
+                dens.density_estimate()
+        answers = (
+            tuple(sorted(core.estimates().items())),
+            core.max_estimate(),
+            dens.density_estimate(),
+        )
+        return answers, (cm.work, cm.depth, dict(sorted(cm.counters.items())))
+    finally:
+        ex.close()
+
+
+class TestSharedStateExecutor:
+    @pytest.mark.parametrize("substrate", ["treap", "flat"])
+    def test_bit_identical_to_serial(self, substrate):
+        base = _drive(1, False, substrate)
+        shm = _drive(2, True, substrate)
+        assert shm == base
+
+    def test_bit_identical_with_interleaved_queries(self):
+        # queries every 2 batches: steady ops-only batches alternate with
+        # materialise + reseed cycles, all under the flat substrate
+        base = _drive(1, False, "flat", query_every=2)
+        shm = _drive(2, True, "flat", query_every=2)
+        assert shm == base
+
+    def test_exec_config_selects_shared_state(self):
+        from repro.pram.shmexec import SharedStateExecutor
+
+        ex = ExecConfig(workers=2, shared_state=True).make_executor()
+        try:
+            assert isinstance(ex, SharedStateExecutor)
+        finally:
+            ex.close()
+
+
+class TestRungStore:
+    def test_materialises_handles_on_read(self):
+        class Handle:
+            def __init__(self, value):
+                self.value = value
+
+            def __materialize__(self):
+                return self.value
+
+        store = RungStore(["a", Handle("b")])
+        assert store.raw(1).__class__ is Handle  # raw() never resolves
+        assert store[1] == "b"
+        assert store.raw(1) == "b"  # resolved in place
+        assert list(store) == ["a", "b"]
