@@ -14,6 +14,7 @@ Core subcommands::
     repro scenarios --scale ci --soak both
     repro scenarios --scenario sliding-window-churn --scale large \\
                     --trace-out window.trace
+    repro serve     --data-dir state/ --port 9090 --serve-metrics 0
 
 ``generate`` writes a batch-update trace (see repro.graphs.tracefile);
 ``run`` replays it through the batch-dynamic structures and reports the
@@ -30,7 +31,10 @@ per-batch outputs, and ``verify --replay`` re-runs a minimized repro
 artifact (docs/VERIFICATION.md); ``scenarios`` drives the adversarial
 scenario engine — soak a hardness-informed workload through chaos and/or
 the differential panel, or spill it out-of-core to a trace file
-(docs/SCENARIOS.md).
+(docs/SCENARIOS.md); ``serve`` runs the long-lived coreness service —
+per-tenant ladders behind an asyncio JSON-lines protocol with
+WAL-before-apply durability and epoch-snapshot queries
+(docs/SERVICE.md).
 
 ``run`` streams its trace through the bounded-memory
 :func:`~repro.graphs.tracefile.iter_trace` reader (one upfront
@@ -42,9 +46,11 @@ never the op list.
 from __future__ import annotations
 
 import argparse
+import errno
 import json
 import pathlib
 import sys
+import threading
 from typing import Optional, Sequence
 
 from .baselines import core_numbers, exact_density, greedy_peeling_density
@@ -195,6 +201,25 @@ def _progress_sink(stream=None):
     return sink
 
 
+def _serve_metrics_or_die(registry, port: int):
+    """Start the metrics HTTP server; die with one clean line if the port
+    is taken.  ``PORT 0`` asks the kernel for an ephemeral port — the one
+    actually bound is in the printed URL (docs/OBSERVABILITY.md)."""
+    from .instrument.live import serve_metrics
+
+    try:
+        server = serve_metrics(registry, port)
+    except OSError as exc:
+        if exc.errno == errno.EADDRINUSE:
+            raise SystemExit(
+                f"error: metrics port {port} is already in use "
+                "(pass --serve-metrics 0 to bind an ephemeral port)"
+            ) from None
+        raise
+    print(f"serving metrics on {server.url}", file=sys.stderr)
+    return server
+
+
 def cmd_run(args) -> int:
     """Replay a trace through the maintained structures; print metrics.
 
@@ -205,8 +230,11 @@ def cmd_run(args) -> int:
     ``--live`` attaches the terminal dashboard (progress, throughput,
     ETA, hottest spans — docs/OBSERVABILITY.md) as an extra tracer sink;
     ``--serve-metrics PORT`` additionally exposes the metrics registry as
-    Prometheus text on ``http://127.0.0.1:PORT/metrics`` for the run's
-    duration.  Neither touches the cost model.
+    Prometheus text on ``http://127.0.0.1:PORT/metrics`` (``PORT 0`` binds
+    an ephemeral port, printed to stderr).  The server used to vanish the
+    instant the replay finished — too fast for any scraper on short runs —
+    so ``--metrics-linger SECONDS`` now keeps it up after the summary
+    prints.  Neither touches the cost model.
     """
     info = scan_trace(args.trace)
     n = max(info.vertices, 2)
@@ -216,14 +244,12 @@ def cmd_run(args) -> int:
     executor = _exec_config(args).make_executor()
     live = bool(getattr(args, "live", False))
     serve_port = getattr(args, "serve_metrics", None)
+    linger = max(0.0, getattr(args, "metrics_linger", 0.0) or 0.0)
     dashboard = None
     server = None
     try:
         if serve_port is not None:
-            from .instrument.live import serve_metrics
-
-            server = serve_metrics(REGISTRY, serve_port)
-            print(f"serving metrics on {server.url}", file=sys.stderr)
+            server = _serve_metrics_or_die(REGISTRY, serve_port)
         structures = _build_structures(args, n, cm, executor=executor)
 
         progress = getattr(args, "progress", 0)
@@ -263,8 +289,12 @@ def cmd_run(args) -> int:
     finally:
         if dashboard is not None:
             dashboard.close()
-        if server is not None:
+        # on the happy path with --metrics-linger the server outlives the
+        # replay (the satellite fix: short runs were un-scrape-able); an
+        # exception still tears it down here.
+        if server is not None and (not linger or sys.exc_info()[0] is not None):
             server.close()
+            server = None
         executor.close()
 
     series = timer.series
@@ -288,6 +318,17 @@ def cmd_run(args) -> int:
             rows.append(("lambda_alg", f"{st.arboricity_estimate():.2f}"))
             rows.append(("orientation max d+", st.max_outdegree()))
     print(render_table(["metric", "value"], rows))
+    if server is not None:
+        print(
+            f"metrics stay up on {server.url} for {linger:.0f}s more "
+            "(ctrl-C to release early)",
+            file=sys.stderr,
+        )
+        try:
+            threading.Event().wait(linger)
+        except KeyboardInterrupt:
+            pass
+        server.close()
     return 0
 
 
@@ -477,10 +518,7 @@ def cmd_scenarios(args) -> int:
     dashboard = None
     server = None
     if getattr(args, "serve_metrics", None) is not None:
-        from .instrument.live import serve_metrics
-
-        server = serve_metrics(REGISTRY, args.serve_metrics)
-        print(f"serving metrics on {server.url}", file=sys.stderr)
+        server = _serve_metrics_or_die(REGISTRY, args.serve_metrics)
     if getattr(args, "live", False):
         # no tracer sink plumbing here — the dashboard ticks itself from
         # a daemon thread while the soak publishes into the registry.
@@ -513,6 +551,60 @@ def cmd_scenarios(args) -> int:
             server.close()
     print(render_scenario_summary(reports))
     return 0 if all(r.ok for r in reports) else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the coreness service (docs/SERVICE.md).
+
+    A long-running asyncio server: per-tenant batch-dynamic ladders
+    behind a JSON-lines TCP protocol — every accepted batch hits the
+    tenant's WAL before it applies (the ack is the durability point),
+    queries read an immutable epoch snapshot and never block on in-flight
+    updates, restart recovers through checkpoint + WAL replay, and
+    SIGTERM drains gracefully (commit the backlog, seal the WALs).
+    ``--serve-metrics PORT`` exposes per-tenant ingest/query counters and
+    latency histograms as Prometheus text; the metrics server lives as
+    long as the service does.
+    """
+    import asyncio
+
+    from .service import CorenessService
+
+    service = CorenessService(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        checkpoint_every=args.checkpoint_every,
+        sync=args.sync,
+    )
+    server = None
+    if args.serve_metrics is not None:
+        server = _serve_metrics_or_die(service.registry, args.serve_metrics)
+
+    def ready() -> None:
+        print(
+            f"coreness service listening on {service.host}:{service.port} "
+            f"({len(service.tenants)} tenants recovered)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(service.run(on_ready=ready))
+    except OSError as exc:
+        if exc.errno == errno.EADDRINUSE:
+            raise SystemExit(
+                f"error: service port {args.port} on {args.host} is already "
+                "in use (pass --port 0 to bind an ephemeral port)"
+            ) from None
+        raise
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if server is not None:
+            server.close()
+    print("coreness service drained and stopped", file=sys.stderr)
+    return 0
 
 
 def _load_bench_file(path: str) -> dict:
@@ -793,7 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "ETA, hottest spans) to stderr")
     r.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
                    help="expose the metrics registry as Prometheus text on "
-                        "http://127.0.0.1:PORT/metrics for the run")
+                        "http://127.0.0.1:PORT/metrics for the run "
+                        "(PORT 0 = ephemeral; the bound URL is printed)")
+    r.add_argument("--metrics-linger", type=float, default=0.0, metavar="SEC",
+                   help="keep the --serve-metrics server up SEC seconds "
+                        "after the replay so scrapers can still reach it")
     _add_exec_args(r)
     r.set_defaults(func=cmd_run)
 
@@ -921,8 +1017,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="tick a live status line to stderr while soaking")
     sc.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
                     help="expose the metrics registry as Prometheus text on "
-                         "http://127.0.0.1:PORT/metrics while soaking")
+                         "http://127.0.0.1:PORT/metrics while soaking "
+                         "(PORT 0 = ephemeral; the bound URL is printed)")
     sc.set_defaults(func=cmd_scenarios)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the coreness service: async ingest/query over per-tenant "
+             "ladders (docs/SERVICE.md)",
+    )
+    sv.add_argument("--data-dir", required=True, metavar="DIR",
+                    help="durable state root (one subdirectory per tenant: "
+                         "meta.json + wal.trace + checkpoint.json)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; the bound port is printed "
+                         "on the ready line)")
+    sv.add_argument("--shards", type=int, default=4,
+                    help="parallel apply lanes; tenants map to lanes by "
+                         "name hash")
+    sv.add_argument("--checkpoint-every", type=int, default=32, metavar="K",
+                    help="full checkpoint every K committed batches per tenant")
+    sv.add_argument("--sync", action="store_true",
+                    help="fsync every WAL append before acking "
+                         "(power-loss durability, slower ingest)")
+    sv.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                    help="expose per-tenant service metrics as Prometheus "
+                         "text (PORT 0 = ephemeral; the bound URL is printed)")
+    sv.set_defaults(func=cmd_serve)
 
     b = sub.add_parser(
         "bench",

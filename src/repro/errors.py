@@ -57,6 +57,18 @@ class TraceError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The coreness service rejected a request or cannot serve it.
+
+    Raised client-side by :class:`repro.service.client.ServiceClient` when
+    the server answers ``ok: false`` (unknown tenant, malformed request,
+    draining, ...) and server-side for protocol violations.  Validation
+    failures of the batch itself surface as :class:`BatchError` text inside
+    the response; the client re-raises them under this class so callers can
+    tell "the service said no" apart from local usage errors.
+    """
+
+
 class FaultInjected(ReproError):
     """A deliberately injected fault fired (``repro.resilience.faults``).
 

@@ -41,6 +41,7 @@ Two reading disciplines:
 
 from __future__ import annotations
 
+import os
 import pathlib
 import zlib
 from dataclasses import dataclass
@@ -88,13 +89,71 @@ class TraceWriter:
     the file as unsealed, which ``read_trace(strict=True)`` reports as a
     :class:`~repro.errors.TraceError` instead of silently replaying a
     torn log.  :meth:`close` seals the file with the integrity footer.
+
+    ``append=True`` resumes an existing trace instead of truncating it —
+    the service-restart move.  A *sealed* trace is detected on open: with
+    ``unseal=True`` (the default) the footer is verified, stripped, and
+    the CRC/batch count resumed so later batches extend the body
+    seamlessly; with ``unseal=False`` the writer refuses with a
+    :class:`~repro.errors.TraceError` rather than ever writing batches
+    after a footer (which the readers would misparse as trailing
+    garbage).  An *unsealed* existing file (a crashed writer's log)
+    resumes in place.  ``sync=True`` additionally ``fsync``s after every
+    batch — the durability level an ingest ack promises.
     """
 
-    def __init__(self, path: str | pathlib.Path) -> None:
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        *,
+        append: bool = False,
+        unseal: bool = True,
+        sync: bool = False,
+    ) -> None:
         self.path = pathlib.Path(path)
-        self._fh = open(self.path, "w")
+        self._sync = sync
         self._crc = 0
         self.batches = 0
+        if append and self.path.exists() and self.path.stat().st_size > 0:
+            self._resume(unseal)
+        else:
+            self._fh = open(self.path, "w")
+
+    def _resume(self, unseal: bool) -> None:
+        """Resume an existing trace file (stripping a verified footer)."""
+        text = self.path.read_bytes().decode()
+        body, sealed = _split_footer(text, self.path)
+        if sealed is not None:
+            if not unseal:
+                raise TraceError(
+                    f"{self.path}: trace is sealed — appending after the "
+                    "integrity footer would corrupt it (reopen with "
+                    "unseal=True to strip the footer and resume, or start "
+                    "a fresh file)"
+                )
+            expected_batches, expected_crc = sealed
+            if zlib.crc32(body.encode()) != expected_crc:
+                raise TraceError(
+                    f"{self.path}: body CRC-32 does not match the footer — "
+                    "refusing to unseal a corrupt trace"
+                )
+        count = 0
+        for lineno, raw in enumerate(body.splitlines(), 1):
+            if _parse_body_line(raw, self.path, lineno) is not None:
+                count += 1
+        if sealed is not None and count != sealed[0]:
+            raise TraceError(
+                f"{self.path}: footer promises {sealed[0]} batches but the "
+                f"body holds {count} — refusing to unseal a corrupt trace"
+            )
+        if sealed is not None:
+            # rewrite the body alone so the footer is physically gone
+            # before any new batch lands after it.
+            with open(self.path, "wb") as fh:
+                fh.write(body.encode())
+        self._fh = open(self.path, "a")
+        self._crc = zlib.crc32(body.encode())
+        self.batches = count
 
     def append(self, op: BatchOp) -> None:
         if self._fh is None:
@@ -102,6 +161,8 @@ class TraceWriter:
         line = _format_op(op) + "\n"
         self._fh.write(line)
         self._fh.flush()
+        if self._sync:
+            os.fsync(self._fh.fileno())
         self._crc = zlib.crc32(line.encode(), self._crc)
         self.batches += 1
 
@@ -327,6 +388,54 @@ def scan_trace(path: str | pathlib.Path, strict: bool = False) -> TraceInfo:
     return TraceInfo(
         vertices=top, batches=batches, edge_updates=updates, max_live_edges=high
     )
+
+
+def recover_trace(path: str | pathlib.Path) -> tuple[list[BatchOp], int]:
+    """Read a write-ahead log tolerating a torn tail (the ``kill -9`` case).
+
+    Returns ``(ops, good_bytes)`` where ``good_bytes`` is the byte length
+    of the valid prefix.  Three file states load cleanly:
+
+    * **sealed** (graceful shutdown) — verified like :func:`read_trace`;
+    * **unsealed** (crashed writer, clean tail) — every line parses;
+    * **torn tail** (killed mid-``append``) — the final line is dropped
+      when it lacks its trailing newline or fails to parse.  A batch is
+      only ever *acked* after its full line is flushed, so the dropped
+      line was never promised to anyone.
+
+    Corruption anywhere before the tail still raises — a torn log loses
+    at most the batch being written, never one in the middle.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return [], 0
+    data = path.read_bytes()
+    text = data.decode()
+    body, sealed = _split_footer(text, path)
+    if sealed is not None:
+        # sealed: delegate the full verification to read_trace.
+        return read_trace(path, strict=True), len(data)
+    lines = text.splitlines(keepends=True)
+    # a final line without its newline is a torn write: never acked.
+    if lines and not lines[-1].endswith("\n"):
+        lines.pop()
+    ops: list[BatchOp] = []
+    good = 0
+    for lineno, raw in enumerate(lines, 1):
+        try:
+            op = _parse_body_line(raw, path, lineno)
+        except BatchError:
+            rest = "".join(lines[lineno:])
+            if any(
+                line.strip() and not line.strip().startswith("#")
+                for line in rest.splitlines()
+            ):
+                raise  # garbage *before* parseable batches: real corruption
+            break  # torn tail: drop the unacked final line
+        good += len(raw.encode())
+        if op is not None:
+            ops.append(op)
+    return ops, good
 
 
 def write_stream(

@@ -477,6 +477,7 @@ class SharedStateExecutor:
         """Send one task; return the plan needed to collect (or recover) it."""
         structure = task.structure
         handle = structure if isinstance(structure, ResidentHandle) else None
+        published: Optional[str] = None
         fast = (
             handle is not None
             and not self._broken
@@ -541,6 +542,7 @@ class SharedStateExecutor:
             self._records[key] = record
             conn = self._conn(record.worker)
             name, size = self.arena.publish(blob)
+            published = name
             conn.send(("seed", key, name, size))
             conn.send(
                 ("run", key, 0, task.method, task.args, armed,
@@ -554,6 +556,10 @@ class SharedStateExecutor:
                 "serialize_s": serialize_s,
             }
         except (BrokenPipeError, EOFError, OSError):
+            # a seed published moments before the pipe broke has no
+            # reader any more; unlink it before degrading.
+            if published is not None:
+                self.arena.release(published)
             self._breakdown()
             if handle is not None and not isinstance(structure, ResidentHandle):
                 pass  # already materialised above
@@ -578,6 +584,11 @@ class SharedStateExecutor:
         for i, plan in enumerate(plans):
             mode = plan["mode"]
             if mode == "inline" or (self._broken and mode != "done"):
+                # the killed worker will never consume this plan's seed
+                # blob — unlink it here or the segment outlives the sweep
+                # (and, unclosed, the process: the shm-leak regression).
+                if plan.get("segment"):
+                    self.arena.release(plan["segment"])
                 replies[i] = self._run_degraded(plan, armed)
                 continue
             try:

@@ -1,0 +1,29 @@
+"""Coreness-as-a-service: a long-running ingest/query server.
+
+Per-tenant batch-dynamic ladders behind an asyncio JSON-lines protocol,
+with WAL-before-apply durability, epoch-snapshot reads that never block
+on in-flight updates, checkpoint + replay recovery after a crash, and a
+graceful SIGTERM drain.  See ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient
+from .server import MAX_LINE, PROTOCOL_VERSION, CorenessService
+from .state import (
+    Snapshot,
+    TENANT_MODES,
+    TenantConfig,
+    TenantShard,
+    discover_tenants,
+)
+
+__all__ = [
+    "CorenessService",
+    "MAX_LINE",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "Snapshot",
+    "TENANT_MODES",
+    "TenantConfig",
+    "TenantShard",
+    "discover_tenants",
+]

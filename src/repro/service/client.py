@@ -1,0 +1,133 @@
+"""Asyncio client for the coreness service's JSON-lines protocol.
+
+One :class:`ServiceClient` wraps one TCP connection; requests on a
+connection are serialised (an internal lock), so spin up one client per
+concurrent logical actor — they are cheap.  Every helper raises
+:class:`~repro.errors.ServiceError` when the server answers
+``ok: false``, with the server's error text.
+
+Typical use::
+
+    client = await ServiceClient.open("127.0.0.1", port)
+    await client.create("acme", n=1024, eps=0.35, seed=7)
+    ack = await client.ingest("acme", "insert", [(0, 1), (1, 2)])
+    answers = await client.query("acme", "coreness", vertices=[0, 1, 2])
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Iterable, Optional, Sequence
+
+from ..errors import ServiceError
+from .server import MAX_LINE
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.CorenessService`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._seq = 0
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # -- the raw wire ---------------------------------------------------------
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request object, await its response object (raising)."""
+        async with self._lock:
+            self._seq += 1
+            payload = dict(payload, id=self._seq)
+            self._writer.write(json.dumps(payload).encode() + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        resp = json.loads(line)
+        if resp.get("id") != payload["id"]:
+            raise ServiceError(
+                f"response id {resp.get('id')!r} does not match request "
+                f"id {payload['id']!r}"
+            )
+        if not resp.get("ok"):
+            raise ServiceError(resp.get("error", "unspecified server error"))
+        return resp
+
+    # -- helpers --------------------------------------------------------------
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def create(
+        self,
+        tenant: str,
+        *,
+        n: int = 256,
+        eps: float = 0.35,
+        seed: int = 0,
+        mode: str = "both",
+        constants: Optional[dict] = None,
+    ) -> dict:
+        req: dict[str, Any] = {
+            "op": "create", "tenant": tenant, "n": n, "eps": eps,
+            "seed": seed, "mode": mode,
+        }
+        if constants is not None:
+            req["constants"] = constants
+        return await self.request(req)
+
+    async def ingest(
+        self,
+        tenant: str,
+        kind: str,
+        edges: Iterable[tuple[int, int]],
+        *,
+        wait: bool = False,
+    ) -> dict:
+        return await self.request(
+            {"op": "ingest", "tenant": tenant, "kind": kind,
+             "edges": [[u, v] for u, v in edges], "wait": wait}
+        )
+
+    async def query(
+        self,
+        tenant: str,
+        what: str = "stats",
+        *,
+        vertices: Optional[Sequence[int]] = None,
+    ) -> dict:
+        req: dict[str, Any] = {"op": "query", "tenant": tenant, "what": what}
+        if vertices is not None:
+            req["vertices"] = list(vertices)
+        return await self.request(req)
+
+    async def tenants(self) -> dict:
+        return await self.request({"op": "tenants"})
+
+    async def drain(self) -> dict:
+        """Block until the server has committed every accepted batch."""
+        return await self.request({"op": "drain"})
+
+
+__all__ = ["ServiceClient"]

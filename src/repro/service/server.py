@@ -1,0 +1,493 @@
+"""Coreness-as-a-service: the asyncio ingest/query front-end.
+
+:class:`CorenessService` owns a fleet of :class:`~repro.service.state.TenantShard`
+instances (one per tenant graph) and serves a JSON-lines TCP protocol to
+many concurrent clients.  The design separates the three latencies that
+matter:
+
+* **accept** — validate a batch and append it to the tenant's WAL.  This
+  is the durability ack; it happens under a per-tenant asyncio lock so
+  WAL order, accepted-graph order and apply-queue order all agree.
+* **apply** — commit the batch into the ladders.  Tenants are sharded by
+  ``crc32(name) % shards``; each shard has one writer task draining an
+  :class:`asyncio.Queue` and running the (CPU-heavy, blocking) apply in
+  a thread pool, so the event loop keeps serving while ladders churn.
+* **query** — read the tenant's published immutable snapshot.  A query
+  never takes a lock and never waits on an in-flight batch: it sees the
+  answers of the last committed epoch, whole (the asynchronous-snapshot
+  reads of arXiv 2401.08015 at batch granularity).
+
+Graceful shutdown (SIGTERM or :meth:`CorenessService.stop`): stop
+accepting work, drain every shard queue, checkpoint and seal every
+tenant WAL.  A *non*-graceful death (``kill -9``) leaves an unsealed —
+possibly torn — WAL; restart recovers through
+:func:`~repro.graphs.tracefile.recover_trace` and replays, so every
+batch that was ever acked is reflected bit-identically.
+
+Protocol: one JSON object per line, answered with one JSON object per
+line (``{"ok": true, ...}`` or ``{"ok": false, "error": "..."}``; an
+``id`` field, when present, is echoed).  Operations: ``ping``,
+``create``, ``ingest``, ``query``, ``tenants``, ``drain``.  See
+``docs/SERVICE.md`` for the full request/response reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import re
+import signal
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Optional
+
+from ..config import Constants
+from ..errors import ReproError, ServiceError
+from ..graphs.streams import BatchOp
+from ..instrument import wallclock as _wallclock
+from ..instrument.telemetry import MetricsRegistry
+from .state import TenantConfig, TenantShard, discover_tenants
+
+#: bumped when the wire format changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: per-line cap — a 1M-edge batch of 7-digit endpoints fits comfortably.
+MAX_LINE = 32 * 1024 * 1024
+
+_TENANT_RE = re.compile(r"[A-Za-z0-9_-][A-Za-z0-9._-]{0,63}\Z")
+
+_QUERY_KINDS = ("coreness", "density", "orientation", "stats")
+
+
+def _check_tenant_name(name: Any) -> str:
+    if not isinstance(name, str) or _TENANT_RE.fullmatch(name) is None:
+        raise ServiceError(
+            "tenant names are 1-64 chars of [A-Za-z0-9._-], not starting "
+            f"with a dot: got {name!r}"
+        )
+    return name
+
+
+def _parse_edges(raw: Any) -> tuple[tuple[int, int], ...]:
+    if not isinstance(raw, list):
+        raise ServiceError("'edges' must be a list of [u, v] pairs")
+    out = []
+    for item in raw:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ServiceError(f"bad edge {item!r}: expected a [u, v] pair")
+        u, v = item
+        if not isinstance(u, int) or not isinstance(v, int):
+            raise ServiceError(f"bad edge {item!r}: endpoints must be ints")
+        out.append((u, v))
+    return tuple(out)
+
+
+class CorenessService:
+    """The long-running server.  Construct, then ``await start()``.
+
+    Parameters
+    ----------
+    data_dir:
+        Root of the durable state; one subdirectory per tenant holding
+        ``meta.json`` + ``wal.trace`` + ``checkpoint.json``.  Tenants
+        found here at startup are recovered and served immediately.
+    shards:
+        Number of apply lanes.  Tenants map to lanes by name hash; two
+        tenants on different lanes commit batches concurrently, while
+        one tenant's batches always commit in accept order.
+    sync:
+        ``True`` fsyncs every WAL append before acking (durability
+        against power loss, not just process death).
+    """
+
+    def __init__(
+        self,
+        data_dir: str | pathlib.Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 4,
+        checkpoint_every: int = 32,
+        sync: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.data_dir = pathlib.Path(data_dir)
+        self.host = host
+        self.port = port
+        self.shards = max(1, shards)
+        self.checkpoint_every = checkpoint_every
+        self.sync = sync
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tenants: dict[str, TenantShard] = {}
+        self._tenant_locks: dict[str, asyncio.Lock] = {}
+        self._create_lock: Optional[asyncio.Lock] = None
+        self._queues: list[asyncio.Queue] = []
+        self._writer_tasks: list[asyncio.Task] = []
+        self._client_tasks: set[asyncio.Task] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover on-disk tenants, start shard writers, bind the socket."""
+        loop = asyncio.get_running_loop()
+        self._create_lock = asyncio.Lock()
+        self._stop_event = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, self.shards), thread_name_prefix="repro-apply"
+        )
+        self._queues = [asyncio.Queue() for _ in range(self.shards)]
+        self._writer_tasks = [
+            asyncio.create_task(self._shard_writer(q), name=f"shard-{i}")
+            for i, q in enumerate(self._queues)
+        ]
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        for name in discover_tenants(self.data_dir):
+            await loop.run_in_executor(self._pool, self._open_tenant, name)
+        self._server = await asyncio.start_server(
+            self._on_client, self.host, self.port, limit=MAX_LINE
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.registry.gauge("repro_service_tenants").set(len(self.tenants))
+
+    async def run(
+        self,
+        *,
+        install_signals: bool = True,
+        on_ready: Optional[Any] = None,
+    ) -> None:
+        """Start, then serve until :meth:`request_stop` (or SIGTERM/SIGINT)."""
+        await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.request_stop)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread or platform without support
+        if on_ready is not None:
+            on_ready()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self.stop()
+
+    def request_stop(self) -> None:
+        """Signal-safe shutdown trigger (drain happens in :meth:`stop`)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def stop(self) -> None:
+        """Graceful drain: refuse new work, commit the backlog, seal WALs."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.drain()
+        for q in self._queues:
+            q.put_nowait(None)
+        if self._writer_tasks:
+            await asyncio.gather(*self._writer_tasks, return_exceptions=True)
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        for shard in self.tenants.values():
+            await loop.run_in_executor(self._pool, shard.close)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def drain(self) -> None:
+        """Block until every accepted batch has been committed."""
+        await asyncio.gather(*(q.join() for q in self._queues))
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- tenants --------------------------------------------------------------
+
+    def _open_tenant(self, name: str, config: Optional[TenantConfig] = None) -> TenantShard:
+        """Blocking tenant construction/recovery (runs in the pool)."""
+        directory = self.data_dir / name
+        if config is None:
+            meta = json.loads((directory / "meta.json").read_text())
+            config = TenantConfig.from_json(meta)
+        shard = TenantShard(
+            name,
+            directory,
+            config,
+            checkpoint_every=self.checkpoint_every,
+            sync=self.sync,
+            registry=self.registry,
+        )
+        self.tenants[name] = shard
+        return shard
+
+    def _shard_of(self, name: str) -> asyncio.Queue:
+        return self._queues[zlib.crc32(name.encode()) % self.shards]
+
+    def _lock_of(self, name: str) -> asyncio.Lock:
+        lock = self._tenant_locks.get(name)
+        if lock is None:
+            lock = self._tenant_locks[name] = asyncio.Lock()
+        return lock
+
+    def _tenant(self, req: dict) -> TenantShard:
+        name = _check_tenant_name(req.get("tenant"))
+        shard = self.tenants.get(name)
+        if shard is None:
+            raise ServiceError(f"unknown tenant {name!r} (create it first)")
+        return shard
+
+    # -- the wire -------------------------------------------------------------
+
+    async def _on_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
+        gauge = self.registry.gauge("repro_service_connections")
+        gauge.inc(1)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    writer.write(_encode({"ok": False, "error": "request line too long"}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                resp = await self._serve_line(line)
+                writer.write(_encode(resp))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            gauge.inc(-1)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _serve_line(self, line: bytes) -> dict:
+        req_id = None
+        try:
+            req = json.loads(line)
+            if not isinstance(req, dict):
+                raise ServiceError("requests are JSON objects, one per line")
+            req_id = req.get("id")
+            resp = await self._dispatch(req)
+        except json.JSONDecodeError as exc:
+            resp = {"ok": False, "error": f"bad JSON: {exc}"}
+        except ReproError as exc:
+            resp = {"ok": False, "error": str(exc)}
+            self.registry.counter("repro_service_rejects_total").inc(1)
+        if req_id is not None:
+            resp["id"] = req_id
+        return resp
+
+    async def _dispatch(self, req: dict) -> dict:
+        op = req.get("op")
+        if op == "ping":
+            return {
+                "ok": True,
+                "version": PROTOCOL_VERSION,
+                "tenants": len(self.tenants),
+                "draining": self._draining,
+            }
+        if op == "create":
+            return await self._op_create(req)
+        if op == "ingest":
+            return await self._op_ingest(req)
+        if op == "query":
+            return self._op_query(req)
+        if op == "tenants":
+            return {
+                "ok": True,
+                "tenants": {
+                    name: {
+                        "epoch": shard.snapshot.epoch,
+                        "accepted": shard.accepted,
+                        "pending": shard.pending,
+                        "mode": shard.config.mode,
+                        "live_edges": shard.snapshot.live_edges,
+                    }
+                    for name, shard in sorted(self.tenants.items())
+                },
+            }
+        if op == "drain":
+            await self.drain()
+            return {"ok": True}
+        raise ServiceError(f"unknown op {op!r}")
+
+    async def _op_create(self, req: dict) -> dict:
+        if self._draining:
+            raise ServiceError("service is draining; not accepting work")
+        name = _check_tenant_name(req.get("tenant"))
+        kwargs: dict[str, Any] = {}
+        raw_constants = req.get("constants")
+        if raw_constants is not None:
+            if not isinstance(raw_constants, dict):
+                raise ServiceError("'constants' must be a JSON object")
+            try:
+                kwargs["constants"] = Constants(**raw_constants)
+            except TypeError as exc:
+                raise ServiceError(f"bad constants: {exc}") from None
+        config = TenantConfig(
+            n=int(req.get("n", 256)),
+            eps=float(req.get("eps", 0.35)),
+            seed=int(req.get("seed", 0)),
+            mode=str(req.get("mode", "both")),
+            **kwargs,
+        )
+        assert self._create_lock is not None
+        async with self._create_lock:
+            existing = self.tenants.get(name)
+            if existing is not None:
+                if existing.config != config:
+                    raise ServiceError(
+                        f"tenant {name!r} exists with different parameters"
+                    )
+                return {"ok": True, "created": False, "epoch": existing.snapshot.epoch}
+            loop = asyncio.get_running_loop()
+            shard = await loop.run_in_executor(
+                self._pool, self._open_tenant, name, config
+            )
+        self.registry.gauge("repro_service_tenants").set(len(self.tenants))
+        return {"ok": True, "created": True, "epoch": shard.snapshot.epoch}
+
+    async def _op_ingest(self, req: dict) -> dict:
+        if self._draining:
+            raise ServiceError("service is draining; not accepting work")
+        shard = self._tenant(req)
+        kind = req.get("kind")
+        if kind not in ("insert", "delete"):
+            raise ServiceError(f"ingest kind must be insert|delete, got {kind!r}")
+        op = BatchOp(kind, _parse_edges(req.get("edges")))
+        wait = bool(req.get("wait", False))
+        loop = asyncio.get_running_loop()
+        t0 = _wallclock.monotonic()
+        future: Optional[asyncio.Future] = (
+            loop.create_future() if wait else None
+        )
+        async with self._lock_of(shard.name):
+            # accept (validate + WAL append) runs off-loop: the fsync in
+            # sync mode would otherwise stall every other client.  The
+            # queue put happens under the same lock, so apply order ==
+            # WAL order per tenant.
+            position = await loop.run_in_executor(self._pool, shard.accept, op)
+            self._shard_of(shard.name).put_nowait((shard, op, future))
+        self.registry.histogram(
+            "repro_service_ingest_seconds", tenant=shard.name
+        ).observe(max(0.0, _wallclock.monotonic() - t0))
+        resp: dict[str, Any] = {"ok": True, "position": position}
+        if future is not None:
+            resp["epoch"] = await future
+        return resp
+
+    def _op_query(self, req: dict) -> dict:
+        shard = self._tenant(req)
+        what = req.get("what", "stats")
+        if what not in _QUERY_KINDS:
+            raise ServiceError(
+                f"query 'what' must be one of {_QUERY_KINDS}, got {what!r}"
+            )
+        t0 = _wallclock.monotonic()
+        snap = shard.snapshot  # one atomic reference read: a whole epoch
+        resp: dict[str, Any] = {
+            "ok": True,
+            "epoch": snap.epoch,
+            "live_edges": snap.live_edges,
+        }
+        if what == "coreness":
+            if snap.coreness is None:
+                raise ServiceError(
+                    f"tenant {shard.name!r} (mode={shard.config.mode}) does "
+                    "not maintain a coreness ladder"
+                )
+            vertices = req.get("vertices")
+            if vertices is None:
+                resp["coreness"] = {str(v): c for v, c in sorted(snap.coreness.items())}
+            else:
+                resp["coreness"] = {
+                    str(v): snap.coreness.get(int(v), 0.0) for v in vertices
+                }
+            resp["max_coreness"] = snap.max_coreness
+        elif what == "density":
+            if snap.density is None:
+                raise ServiceError(
+                    f"tenant {shard.name!r} (mode={shard.config.mode}) does "
+                    "not maintain a density ladder"
+                )
+            resp["density"] = snap.density
+            resp["arboricity"] = snap.arboricity
+            resp["max_outdegree"] = snap.max_outdegree
+        elif what == "orientation":
+            if snap.out_neighbors is None:
+                raise ServiceError(
+                    f"tenant {shard.name!r} (mode={shard.config.mode}) does "
+                    "not maintain an orientation"
+                )
+            vertices = req.get("vertices")
+            table = snap.out_neighbors
+            if vertices is not None:
+                table = {int(v): table.get(int(v), ()) for v in vertices}
+            resp["out_neighbors"] = {str(v): list(nb) for v, nb in sorted(table.items())}
+            resp["max_outdegree"] = snap.max_outdegree
+        else:  # stats
+            resp["accepted"] = shard.accepted
+            resp["pending"] = shard.pending
+            resp["mode"] = shard.config.mode
+        self.registry.counter(
+            "repro_service_queries_total", tenant=shard.name, what=what
+        ).inc(1)
+        self.registry.histogram(
+            "repro_service_query_seconds", tenant=shard.name
+        ).observe(max(0.0, _wallclock.monotonic() - t0))
+        return resp
+
+    # -- the apply lane -------------------------------------------------------
+
+    async def _shard_writer(self, queue: asyncio.Queue) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await queue.get()
+            if item is None:
+                queue.task_done()
+                return
+            shard, op, future = item
+            try:
+                epoch = await loop.run_in_executor(self._pool, shard.apply, op)
+            except Exception as exc:  # RecoveryError after all tiers failed
+                self.registry.counter(
+                    "repro_service_apply_failures_total", tenant=shard.name
+                ).inc(1)
+                if future is not None and not future.done():
+                    future.set_exception(
+                        ServiceError(f"apply failed for {shard.name!r}: {exc}")
+                    )
+            else:
+                if future is not None and not future.done():
+                    future.set_result(epoch)
+            finally:
+                queue.task_done()
+
+
+def _encode(resp: dict) -> bytes:
+    return json.dumps(resp, sort_keys=True).encode() + b"\n"
+
+
+__all__ = ["CorenessService", "MAX_LINE", "PROTOCOL_VERSION"]

@@ -9,6 +9,7 @@ from repro.graphs.tracefile import (
     TraceWriter,
     iter_trace,
     read_trace,
+    recover_trace,
     scan_trace,
     validate_trace,
     write_stream,
@@ -175,6 +176,85 @@ class TestTraceWriter:
         assert a.read_text() == b.read_text()
 
 
+class TestSealedAppend:
+    """Re-opening a sealed WAL in append mode (the service-restart move).
+
+    Regression for the sealed-trace append corruption: a plain re-open
+    used to write batches *after* the integrity footer, which the readers
+    then misparsed.  Append mode now detects the seal and either unseals
+    (strip footer, resume CRC) or refuses with a clear TraceError.
+    """
+
+    OPS = [
+        BatchOp("insert", ((0, 1), (1, 2))),
+        BatchOp("insert", ((0, 2),)),
+        BatchOp("delete", ((0, 1),)),
+    ]
+
+    def _sealed(self, path):
+        with TraceWriter(path) as writer:
+            for op in self.OPS[:2]:
+                writer.append(op)
+
+    def test_unseal_resumes_sealed_trace(self, tmp_path):
+        path = tmp_path / "wal.trace"
+        self._sealed(path)
+        with TraceWriter(path, append=True) as writer:
+            assert writer.batches == 2  # resumed, not restarted
+            writer.append(self.OPS[2])
+        # the re-sealed file is one coherent trace: strict read, correct
+        # batch count, CRC covering old + new body alike
+        assert read_trace(path, strict=True) == self.OPS
+        assert list(iter_trace(path, strict=True)) == self.OPS
+
+    def test_refuses_sealed_trace_when_unseal_off(self, tmp_path):
+        path = tmp_path / "wal.trace"
+        self._sealed(path)
+        with pytest.raises(TraceError, match="sealed"):
+            TraceWriter(path, append=True, unseal=False)
+        # the refusal must not have touched the file
+        assert read_trace(path, strict=True) == self.OPS[:2]
+
+    def test_resumes_unsealed_crash_log(self, tmp_path):
+        # a crashed writer leaves no footer; append mode resumes in place
+        path = tmp_path / "wal.trace"
+        write_trace(self.OPS[:2], path, footer=False)
+        with TraceWriter(path, append=True) as writer:
+            assert writer.batches == 2
+            writer.append(self.OPS[2])
+        assert read_trace(path, strict=True) == self.OPS
+
+    def test_append_to_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "new.trace"
+        with TraceWriter(path, append=True) as writer:
+            writer.append(self.OPS[0])
+        assert read_trace(path, strict=True) == self.OPS[:1]
+
+    def test_unseal_refuses_corrupt_body(self, tmp_path):
+        path = tmp_path / "wal.trace"
+        self._sealed(path)
+        lines = path.read_text().splitlines()
+        lines[0] = "I 7 8"  # body no longer matches the footer CRC
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="CRC"):
+            TraceWriter(path, append=True)
+
+    def test_default_mode_still_truncates(self, tmp_path):
+        path = tmp_path / "wal.trace"
+        self._sealed(path)
+        with TraceWriter(path) as writer:
+            writer.append(self.OPS[2])
+        assert read_trace(path, strict=True) == self.OPS[2:]
+
+    def test_sync_mode_flushes_durably(self, tmp_path):
+        path = tmp_path / "wal.trace"
+        writer = TraceWriter(path, sync=True)
+        writer.append(self.OPS[0])
+        # acked-before-sealed: the batch is on disk before close()
+        assert read_trace(path) == self.OPS[:1]
+        writer.close()
+
+
 class TestStreaming:
     """The out-of-core surface: iter_trace / scan_trace / write_stream."""
 
@@ -258,3 +338,69 @@ class TestStreaming:
         first = next(it)
         assert first == self._ops()[0]
         it.close()
+
+class TestRecoverTrace:
+    """The torn-tail-tolerant WAL reader behind service restarts."""
+
+    OPS = [
+        BatchOp("insert", ((0, 1), (1, 2))),
+        BatchOp("insert", ((2, 3),)),
+        BatchOp("delete", ((1, 2),)),
+    ]
+
+    def test_missing_file(self, tmp_path):
+        assert recover_trace(tmp_path / "nope.txt") == ([], 0)
+
+    def test_sealed_file_loads_whole(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self.OPS, path)
+        ops, good = recover_trace(path)
+        assert ops == self.OPS
+        assert good == path.stat().st_size
+
+    def test_unsealed_clean_tail(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self.OPS, path, footer=False)
+        ops, good = recover_trace(path)
+        assert ops == self.OPS
+        assert good == path.stat().st_size
+
+    def test_torn_final_line_without_newline_is_dropped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self.OPS, path, footer=False)
+        clean = path.stat().st_size
+        with open(path, "a") as fh:
+            fh.write("I 7 8 9")  # killed mid-append: no newline
+        ops, good = recover_trace(path)
+        assert ops == self.OPS
+        assert good == clean
+
+    def test_torn_garbage_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self.OPS, path, footer=False)
+        clean = path.stat().st_size
+        with open(path, "a") as fh:
+            fh.write("garbage that is no batch line\n")
+        ops, good = recover_trace(path)
+        assert ops == self.OPS
+        assert good == clean
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        """Only the *tail* may be forgiven: bad bytes with real batches
+        after them mean the log cannot be trusted."""
+        path = tmp_path / "t.txt"
+        write_trace(self.OPS, path, footer=False)
+        lines = path.read_text().splitlines(keepends=True)
+        idx = next(i for i, l in enumerate(lines) if not l.startswith("#"))
+        lines[idx] = "garbage in the middle\n"
+        path.write_text("".join(lines))
+        with pytest.raises(BatchError):
+            recover_trace(path)
+
+    def test_corrupt_sealed_file_still_raises(self, tmp_path):
+        path = tmp_path / "t.txt"
+        write_trace(self.OPS, path)
+        text = path.read_text().replace("I 0 1", "I 0 9", 1)
+        path.write_text(text)
+        with pytest.raises(TraceError):
+            recover_trace(path)

@@ -1,0 +1,183 @@
+"""Process-level lifecycle tests: kill -9 recovery and metrics serving.
+
+The recovery contract under test end to end: every batch the service
+*acked* before dying (even by ``SIGKILL``, mid-ingest, with applies
+still queued) is recovered on restart — the recovered tenant answers
+bit-identically to a serial replay of exactly the acked prefix.
+
+Plus the metrics-server lifecycle regressions: a taken port dies with
+one clean line (it used to dump a raw ``OSError`` traceback), and
+``--metrics-linger`` keeps ``repro run``'s metrics endpoint scrapeable
+after short replays (it used to vanish the instant the replay ended).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import re
+import signal
+import socket
+import subprocess
+import sys
+import urllib.request
+
+from repro.graphs.tracefile import write_trace
+from repro.service.state import TenantConfig
+
+from .test_state import churn_batches, oracle_answers
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+ENV = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+SERVE = [sys.executable, "-m", "repro.cli", "serve"]
+
+
+def start_serve(data_dir, *extra) -> tuple[subprocess.Popen, int]:
+    proc = subprocess.Popen(
+        [*SERVE, "--data-dir", str(data_dir), "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=ENV,
+        cwd=REPO,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on [\d.]+:(\d+)", line)
+    assert match, f"no ready line, got {line!r} (stderr: {proc.stderr.read()})"
+    return proc, int(match.group(1))
+
+
+def busy_port() -> tuple[socket.socket, int]:
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    return sock, sock.getsockname()[1]
+
+
+class TestKillRecovery:
+    def test_sigkill_mid_ingest_recovers_every_acked_batch(self, tmp_path):
+        cfg = TenantConfig(n=32, eps=0.35, seed=13)
+        batches = churn_batches(cfg.n, seed=5, count=10, size=5)
+        oracle = oracle_answers(cfg, batches)
+        proc, port = start_serve(tmp_path, "--checkpoint-every", "3")
+
+        async def ingest_all() -> int:
+            from repro.service import ServiceClient
+
+            client = await ServiceClient.open("127.0.0.1", port)
+            await client.create(
+                "t", n=cfg.n, eps=cfg.eps, seed=cfg.seed
+            )
+            acked = 0
+            for op in batches:
+                resp = await client.ingest("t", op.kind, op.edges)
+                acked = resp["position"]
+            # deliberately no drain(): applies may still be queued when
+            # the SIGKILL lands — only the *acks* are promised.
+            await client.close()
+            return acked
+
+        try:
+            acked = asyncio.run(ingest_all())
+            assert acked == len(batches)
+        finally:
+            proc.kill()  # SIGKILL: no drain, no seal, no checkpoint
+            proc.communicate(timeout=30)
+
+        proc2, port2 = start_serve(tmp_path)
+
+        async def query_all():
+            from repro.service import ServiceClient
+
+            client = await ServiceClient.open("127.0.0.1", port2)
+            resp = await client.query("t", "coreness")
+            dresp = await client.query("t", "density")
+            await client.close()
+            return resp, dresp
+
+        try:
+            resp, dresp = asyncio.run(query_all())
+            assert resp["epoch"] == len(batches)
+            assert {
+                int(v): c for v, c in resp["coreness"].items()
+            } == oracle[len(batches)][0]
+            assert dresp["density"] == oracle[len(batches)][1]
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            _, err = proc2.communicate(timeout=30)
+        assert proc2.returncode == 0, err
+        assert "drained and stopped" in err
+
+
+class TestMetricsServerLifecycle:
+    def test_serve_port_in_use_is_one_clean_line(self, tmp_path):
+        sock, port = busy_port()
+        try:
+            proc = subprocess.run(
+                [*SERVE, "--data-dir", str(tmp_path), "--port", str(port)],
+                capture_output=True,
+                text=True,
+                env=ENV,
+                cwd=REPO,
+                timeout=120,
+            )
+        finally:
+            sock.close()
+        assert proc.returncode != 0
+        assert "already in use" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_metrics_port_in_use_is_one_clean_line(self, tmp_path):
+        """The regression: ``repro run --serve-metrics <taken>`` used to
+        die with a raw OSError traceback."""
+        trace = tmp_path / "tiny.trace"
+        write_trace(churn_batches(16, seed=1, count=3, size=3), trace)
+        sock, port = busy_port()
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "run",
+                 "--trace", str(trace), "--serve-metrics", str(port)],
+                capture_output=True,
+                text=True,
+                env=ENV,
+                cwd=REPO,
+                timeout=120,
+            )
+        finally:
+            sock.close()
+        assert proc.returncode != 0
+        assert "already in use" in proc.stderr
+        assert "--serve-metrics 0" in proc.stderr  # points at the fix
+        assert "Traceback" not in proc.stderr
+
+    def test_metrics_linger_keeps_endpoint_scrapeable(self, tmp_path):
+        """The regression: without linger the server closed the instant
+        the replay finished, so short runs could never be scraped."""
+        trace = tmp_path / "tiny.trace"
+        write_trace(churn_batches(16, seed=2, count=3, size=3), trace)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "run",
+             "--trace", str(trace), "--serve-metrics", "0",
+             "--metrics-linger", "10"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=ENV,
+            cwd=REPO,
+        )
+        try:
+            url = re.search(
+                r"(http://[\d.:]+/metrics)", proc.stderr.readline()
+            ).group(1)
+            # the linger announcement only prints after the replay + the
+            # summary table — the old behaviour closed the server here.
+            linger_line = proc.stderr.readline()
+            assert "stay up" in linger_line
+            body = urllib.request.urlopen(url, timeout=10).read().decode()
+            assert "repro_batches_total" in body or "repro_" in body
+        finally:
+            proc.send_signal(signal.SIGINT)  # release the linger early
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "metric" in out  # the summary table still printed

@@ -1,0 +1,151 @@
+"""Regression: shm segments must not leak on the kill/degrade path.
+
+``ShmArena``'s protocol unlinks a seed segment only after its reader
+consumes it.  When :class:`~repro.pram.shmexec.SharedStateExecutor`
+retires the worker fleet mid-sweep (a hang, a dead worker) and falls
+back to in-process execution, already-published-but-never-read segments
+used to stay registered until ``close()`` — or, without a close, until
+the multiprocessing resource tracker cleaned up at interpreter exit with
+a "leaked shared_memory objects" warning.  The degraded collect path now
+unlinks every unconsumed segment the moment its plan degrades.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.config import Constants
+from repro.core.coreness import CorenessDecomposition
+from repro.core.density import DensityEstimator
+from repro.instrument.work_depth import CostModel
+from repro.pram.shmexec import SharedStateExecutor
+
+SMALL = Constants(sample_c=0.5, min_B=4, duplication_cap=8)
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 4), (0, 4)]
+
+
+def _drive_degraded(executor) -> tuple:
+    """One seeding sweep per structure with every worker reply timing out."""
+    cm = CostModel()
+    core = CorenessDecomposition(
+        8, eps=0.3, cm=cm, constants=SMALL, seed=7, executor=executor
+    )
+    dens = DensityEstimator(
+        8, eps=0.3, cm=cm, constants=SMALL, seed=7, executor=executor
+    )
+    core.insert_batch(EDGES)
+    dens.insert_batch(EDGES)
+    return (
+        tuple(sorted(core.estimates().items())),
+        dens.density_estimate(),
+        cm.work,
+        cm.depth,
+    )
+
+
+class TestDegradedDispatchReleasesSegments:
+    def test_collect_timeout_drains_arena(self, monkeypatch):
+        """Every seed published before the breakdown is unlinked.
+
+        ``_recv`` raising on the first plan retires the fleet; all later
+        plans — whose seed blobs were already published — take the
+        degraded branch, which must release their segments.  Before the
+        fix the arena still held one segment per degraded seed here.
+        """
+        executor = SharedStateExecutor(max_workers=2)
+
+        def timeout(self, conn):
+            raise TimeoutError("worker never answered (injected)")
+
+        monkeypatch.setattr(SharedStateExecutor, "_recv", timeout)
+        try:
+            _drive_degraded(executor)
+            assert len(executor.arena) == 0, (
+                "degraded sweep left unconsumed shm segments registered"
+            )
+        finally:
+            executor.close()
+
+    def test_degraded_answers_match_serial(self, monkeypatch):
+        """The leak fix must not change what the degraded sweep computes."""
+        cm = CostModel()
+        core = CorenessDecomposition(8, eps=0.3, cm=cm, constants=SMALL, seed=7)
+        dens = DensityEstimator(8, eps=0.3, cm=cm, constants=SMALL, seed=7)
+        core.insert_batch(EDGES)
+        dens.insert_batch(EDGES)
+        serial = (
+            tuple(sorted(core.estimates().items())),
+            dens.density_estimate(),
+            cm.work,
+            cm.depth,
+        )
+
+        executor = SharedStateExecutor(max_workers=2)
+
+        def timeout(self, conn):
+            raise TimeoutError("worker never answered (injected)")
+
+        monkeypatch.setattr(SharedStateExecutor, "_recv", timeout)
+        try:
+            assert _drive_degraded(executor) == serial
+        finally:
+            executor.close()
+
+    def test_dispatch_pipe_error_releases_fresh_seed(self):
+        """A seed published just before the pipe broke is unlinked too."""
+        executor = SharedStateExecutor(max_workers=1)
+        try:
+            # sabotage the (lazily created) worker pipe so the very first
+            # seed send raises BrokenPipeError inside _dispatch.
+            conn = executor._conn(0)
+            conn.close()
+            executor._conns[0] = conn
+            _drive_degraded(executor)
+            assert len(executor.arena) == 0
+        finally:
+            executor.close()
+
+
+def test_no_resource_tracker_warnings_without_close():
+    """End to end: a degraded sweep that never calls close() exits clean.
+
+    Before the fix the resource tracker printed 'leaked shared_memory
+    objects to clean up at shutdown' on interpreter exit; any such noise
+    on stderr fails this test.
+    """
+    script = textwrap.dedent(
+        """
+        from repro.config import Constants
+        from repro.core.coreness import CorenessDecomposition
+        from repro.instrument.work_depth import CostModel
+        from repro.pram.shmexec import SharedStateExecutor
+
+        def timeout(self, conn):
+            raise TimeoutError("injected")
+
+        SharedStateExecutor._recv = timeout
+        executor = SharedStateExecutor(max_workers=2)
+        cm = CostModel()
+        core = CorenessDecomposition(
+            8, eps=0.3, cm=cm, seed=7, executor=executor,
+            constants=Constants(sample_c=0.5, min_B=4, duplication_cap=8),
+        )
+        core.insert_batch([(0, 1), (0, 2), (1, 2), (2, 3)])
+        assert len(executor.arena) == 0, len(executor.arena)
+        # deliberately no executor.close(): exit must still be clean
+        """
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "leaked" not in proc.stderr, proc.stderr
