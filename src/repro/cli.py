@@ -577,6 +577,7 @@ def cmd_serve(args) -> int:
         shards=args.shards,
         checkpoint_every=args.checkpoint_every,
         sync=args.sync,
+        max_pending=args.max_pending,
     )
     server = None
     if args.serve_metrics is not None:
@@ -1038,6 +1039,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "name hash")
     sv.add_argument("--checkpoint-every", type=int, default=32, metavar="K",
                     help="full checkpoint every K committed batches per tenant")
+    sv.add_argument("--max-pending", type=int, default=256, metavar="N",
+                    help="per-lane bound on accepted-but-unapplied batches; "
+                         "at the bound, ingest acks stall (backpressure) "
+                         "instead of growing an unbounded apply backlog")
     sv.add_argument("--sync", action="store_true",
                     help="fsync every WAL append before acking "
                          "(power-loss durability, slower ingest)")

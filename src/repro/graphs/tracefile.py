@@ -147,10 +147,16 @@ class TraceWriter:
                 f"body holds {count} — refusing to unseal a corrupt trace"
             )
         if sealed is not None:
-            # rewrite the body alone so the footer is physically gone
-            # before any new batch lands after it.
-            with open(self.path, "wb") as fh:
-                fh.write(body.encode())
+            # The footer is strictly a suffix of the file, so stripping
+            # it is a single in-place truncate — never a truncate-to-zero
+            # rewrite, which would leave a kill -9 window where the whole
+            # WAL (every previously acked batch) is empty or partial.  A
+            # crash before the truncate leaves the sealed file intact (it
+            # unseals again on the next start); a crash after leaves a
+            # valid unsealed body that recover_trace loads as-is.
+            with open(self.path, "rb+") as fh:
+                fh.truncate(len(body.encode()))
+                os.fsync(fh.fileno())
         self._fh = open(self.path, "a")
         self._crc = zlib.crc32(body.encode())
         self.batches = count
@@ -171,6 +177,19 @@ class TraceWriter:
         if self._fh is None:
             return
         self._fh.write(_footer(self.batches, self._crc) + "\n")
+        self._fh.close()
+        self._fh = None
+
+    def abort(self) -> None:
+        """Release the file *without* sealing it (idempotent).
+
+        The WAL stays unsealed on disk — the state a recovery pass treats
+        as a crashed writer's log.  For callers that must not certify the
+        file as complete (e.g. a quarantined tenant whose ladders
+        diverged from the WAL) but should not leak the handle either.
+        """
+        if self._fh is None:
+            return
         self._fh.close()
         self._fh = None
 

@@ -83,6 +83,23 @@ def _parse_edges(raw: Any) -> tuple[tuple[int, int], ...]:
     return tuple(out)
 
 
+def _parse_vertices(raw: Any) -> Optional[tuple[int, ...]]:
+    """Validate a query's optional ``vertices`` field (None = all)."""
+    if raw is None:
+        return None
+    if not isinstance(raw, list):
+        raise ServiceError("'vertices' must be a list of vertex ids")
+    out = []
+    for item in raw:
+        try:
+            out.append(int(item))
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"bad vertex {item!r}: vertex ids must be ints"
+            ) from None
+    return tuple(out)
+
+
 class CorenessService:
     """The long-running server.  Construct, then ``await start()``.
 
@@ -99,6 +116,12 @@ class CorenessService:
     sync:
         ``True`` fsyncs every WAL append before acking (durability
         against power loss, not just process death).
+    max_pending:
+        Per-shard bound on accepted-but-not-yet-applied batches.  Accept
+        (a WAL append) is far cheaper than apply (a full ladder commit),
+        so without a bound a fast writer accumulates an unbounded apply
+        backlog; at the bound, ingest acks stall until the lane drains —
+        backpressure instead of unbounded memory and drain time.
     """
 
     def __init__(
@@ -110,6 +133,7 @@ class CorenessService:
         shards: int = 4,
         checkpoint_every: int = 32,
         sync: bool = False,
+        max_pending: int = 256,
         registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.data_dir = pathlib.Path(data_dir)
@@ -118,8 +142,10 @@ class CorenessService:
         self.shards = max(1, shards)
         self.checkpoint_every = checkpoint_every
         self.sync = sync
+        self.max_pending = max(1, max_pending)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tenants: dict[str, TenantShard] = {}
+        self.failed_tenants: dict[str, str] = {}  # name -> quarantine reason
         self._tenant_locks: dict[str, asyncio.Lock] = {}
         self._create_lock: Optional[asyncio.Lock] = None
         self._queues: list[asyncio.Queue] = []
@@ -141,14 +167,21 @@ class CorenessService:
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, self.shards), thread_name_prefix="repro-apply"
         )
-        self._queues = [asyncio.Queue() for _ in range(self.shards)]
+        self._queues = [
+            asyncio.Queue(maxsize=self.max_pending) for _ in range(self.shards)
+        ]
         self._writer_tasks = [
             asyncio.create_task(self._shard_writer(q), name=f"shard-{i}")
             for i, q in enumerate(self._queues)
         ]
         self.data_dir.mkdir(parents=True, exist_ok=True)
         for name in discover_tenants(self.data_dir):
-            await loop.run_in_executor(self._pool, self._open_tenant, name)
+            # one tenant's poisoned WAL/checkpoint must not keep every
+            # other tenant's service down: quarantine it and boot on.
+            try:
+                await loop.run_in_executor(self._pool, self._open_tenant, name)
+            except Exception as exc:
+                self._quarantine(name, f"recovery failed: {exc}")
         self._server = await asyncio.start_server(
             self._on_client, self.host, self.port, limit=MAX_LINE
         )
@@ -201,7 +234,11 @@ class CorenessService:
             await asyncio.gather(*self._client_tasks, return_exceptions=True)
         loop = asyncio.get_running_loop()
         for shard in self.tenants.values():
-            await loop.run_in_executor(self._pool, shard.close)
+            # a quarantined shard's ladders diverged from its WAL: leave
+            # the WAL unsealed and the old checkpoint alone rather than
+            # persisting the divergence as if it were a clean shutdown.
+            seal = shard.name not in self.failed_tenants
+            await loop.run_in_executor(self._pool, shard.close, seal)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
         if self._stop_event is not None:
@@ -243,8 +280,27 @@ class CorenessService:
             lock = self._tenant_locks[name] = asyncio.Lock()
         return lock
 
+    def _quarantine(self, name: str, reason: str) -> None:
+        """Mark a tenant failed: all further ingest/queries are refused."""
+        self.failed_tenants[name] = reason
+        self.registry.counter(
+            "repro_service_tenants_quarantined_total", tenant=name
+        ).inc(1)
+        self.registry.gauge("repro_service_tenants_failed").set(
+            len(self.failed_tenants)
+        )
+
+    def _check_quarantine(self, name: str) -> None:
+        reason = self.failed_tenants.get(name)
+        if reason is not None:
+            raise ServiceError(
+                f"tenant {name!r} is quarantined ({reason}); its on-disk "
+                "state needs operator attention before it can serve again"
+            )
+
     def _tenant(self, req: dict) -> TenantShard:
         name = _check_tenant_name(req.get("tenant"))
+        self._check_quarantine(name)
         shard = self.tenants.get(name)
         if shard is None:
             raise ServiceError(f"unknown tenant {name!r} (create it first)")
@@ -295,6 +351,16 @@ class CorenessService:
         except ReproError as exc:
             resp = {"ok": False, "error": str(exc)}
             self.registry.counter("repro_service_rejects_total").inc(1)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # malformed input that slipped past validation (or a genuine
+            # bug) must answer {ok:false}, never tear down the connection.
+            resp = {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+            self.registry.counter("repro_service_internal_errors_total").inc(1)
         if req_id is not None:
             resp["id"] = req_id
         return resp
@@ -324,9 +390,11 @@ class CorenessService:
                         "pending": shard.pending,
                         "mode": shard.config.mode,
                         "live_edges": shard.snapshot.live_edges,
+                        "quarantined": name in self.failed_tenants,
                     }
                     for name, shard in sorted(self.tenants.items())
                 },
+                "quarantined": dict(sorted(self.failed_tenants.items())),
             }
         if op == "drain":
             await self.drain()
@@ -337,6 +405,7 @@ class CorenessService:
         if self._draining:
             raise ServiceError("service is draining; not accepting work")
         name = _check_tenant_name(req.get("tenant"))
+        self._check_quarantine(name)
         kwargs: dict[str, Any] = {}
         raw_constants = req.get("constants")
         if raw_constants is not None:
@@ -346,13 +415,16 @@ class CorenessService:
                 kwargs["constants"] = Constants(**raw_constants)
             except TypeError as exc:
                 raise ServiceError(f"bad constants: {exc}") from None
-        config = TenantConfig(
-            n=int(req.get("n", 256)),
-            eps=float(req.get("eps", 0.35)),
-            seed=int(req.get("seed", 0)),
-            mode=str(req.get("mode", "both")),
-            **kwargs,
-        )
+        try:
+            config = TenantConfig(
+                n=int(req.get("n", 256)),
+                eps=float(req.get("eps", 0.35)),
+                seed=int(req.get("seed", 0)),
+                mode=str(req.get("mode", "both")),
+                **kwargs,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"bad tenant parameters: {exc}") from None
         assert self._create_lock is not None
         async with self._create_lock:
             existing = self.tenants.get(name)
@@ -387,9 +459,11 @@ class CorenessService:
             # accept (validate + WAL append) runs off-loop: the fsync in
             # sync mode would otherwise stall every other client.  The
             # queue put happens under the same lock, so apply order ==
-            # WAL order per tenant.
+            # WAL order per tenant.  The put awaits: at max_pending the
+            # lane is full and the ack stalls until the writer drains —
+            # backpressure instead of an unbounded apply backlog.
             position = await loop.run_in_executor(self._pool, shard.accept, op)
-            self._shard_of(shard.name).put_nowait((shard, op, future))
+            await self._shard_of(shard.name).put((shard, op, future))
         self.registry.histogram(
             "repro_service_ingest_seconds", tenant=shard.name
         ).observe(max(0.0, _wallclock.monotonic() - t0))
@@ -418,12 +492,12 @@ class CorenessService:
                     f"tenant {shard.name!r} (mode={shard.config.mode}) does "
                     "not maintain a coreness ladder"
                 )
-            vertices = req.get("vertices")
+            vertices = _parse_vertices(req.get("vertices"))
             if vertices is None:
                 resp["coreness"] = {str(v): c for v, c in sorted(snap.coreness.items())}
             else:
                 resp["coreness"] = {
-                    str(v): snap.coreness.get(int(v), 0.0) for v in vertices
+                    str(v): snap.coreness.get(v, 0.0) for v in vertices
                 }
             resp["max_coreness"] = snap.max_coreness
         elif what == "density":
@@ -441,10 +515,10 @@ class CorenessService:
                     f"tenant {shard.name!r} (mode={shard.config.mode}) does "
                     "not maintain an orientation"
                 )
-            vertices = req.get("vertices")
+            vertices = _parse_vertices(req.get("vertices"))
             table = snap.out_neighbors
             if vertices is not None:
-                table = {int(v): table.get(int(v), ()) for v in vertices}
+                table = {v: table.get(v, ()) for v in vertices}
             resp["out_neighbors"] = {str(v): list(nb) for v, nb in sorted(table.items())}
             resp["max_outdegree"] = snap.max_outdegree
         else:  # stats
@@ -469,12 +543,28 @@ class CorenessService:
                 queue.task_done()
                 return
             shard, op, future = item
+            if shard.name in self.failed_tenants:
+                # the shard already diverged; applying more batches on
+                # top would only deepen the divergence.
+                if future is not None and not future.done():
+                    future.set_exception(
+                        ServiceError(
+                            f"tenant {shard.name!r} is quarantined "
+                            f"({self.failed_tenants[shard.name]})"
+                        )
+                    )
+                queue.task_done()
+                continue
             try:
                 epoch = await loop.run_in_executor(self._pool, shard.apply, op)
             except Exception as exc:  # RecoveryError after all tiers failed
                 self.registry.counter(
                     "repro_service_apply_failures_total", tenant=shard.name
                 ).inc(1)
+                # the WAL/accepted state now holds a batch the ladders
+                # never committed; silently acking further work would
+                # let the tenant diverge forever.  Quarantine it.
+                self._quarantine(shard.name, f"apply failed: {exc}")
                 if future is not None and not future.done():
                     future.set_exception(
                         ServiceError(f"apply failed for {shard.name!r}: {exc}")

@@ -271,7 +271,7 @@ class TenantShard:
         # normalize_batch canonicalises and rejects self-loops/duplicates
         batch = normalize_batch(op.edges)
         for u, v in batch:
-            if v >= self.config.n:
+            if u < 0 or v >= self.config.n:
                 raise BatchError(
                     f"edge ({u}, {v}) outside the tenant's declared "
                     f"universe [0, {self.config.n})"
@@ -383,13 +383,21 @@ class TenantShard:
         _atomic_write(self.directory / CHECKPOINT_NAME, json.dumps(payload))
 
     def close(self, seal: bool = True) -> None:
-        """Checkpoint and seal the WAL (graceful shutdown); idempotent."""
+        """Checkpoint and seal the WAL (graceful shutdown); idempotent.
+
+        ``seal=False`` releases the WAL handle without footer or
+        checkpoint — the shutdown of a quarantined tenant whose ladders
+        diverged from the WAL: the next start replays from the last good
+        checkpoint instead of trusting the divergence.
+        """
         if self._closed:
             return
         self._closed = True
         if seal:
             self.write_checkpoint()
             self._writer.close()
+        else:
+            self._writer.abort()
 
     @property
     def pending(self) -> int:

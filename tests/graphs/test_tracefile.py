@@ -207,7 +207,37 @@ class TestSealedAppend:
         assert read_trace(path, strict=True) == self.OPS
         assert list(iter_trace(path, strict=True)) == self.OPS
 
-    def test_refuses_sealed_trace_when_unseal_off(self, tmp_path):
+    def test_unseal_strips_footer_in_place(self, tmp_path, monkeypatch):
+        """Regression: unsealing used to rewrite the whole file through a
+        truncate-to-zero ``open(path, 'wb')``, leaving a kill -9 window in
+        which every previously acked batch was gone (and state recovery
+        then discarded the checkpoint too).  The footer is strictly a
+        suffix, so unsealing must never open the WAL in a truncating
+        mode — it strips the footer with one in-place truncate."""
+        import builtins
+
+        path = tmp_path / "wal.trace"
+        self._sealed(path)
+        real_open = builtins.open
+
+        def guarded(file, mode="r", *args, **kwargs):
+            if str(file) == str(path) and any(c in str(mode) for c in "wx"):
+                raise AssertionError(
+                    f"unseal opened the WAL in truncating mode {mode!r} — "
+                    "a crash mid-rewrite would lose acked batches"
+                )
+            return real_open(file, mode, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", guarded)
+        writer = TraceWriter(path, append=True)
+        monkeypatch.undo()
+        # the durable state right after the unseal (a crash point) is the
+        # exact acked body, footer physically gone: a valid unsealed WAL.
+        assert read_trace(path) == self.OPS[:2]
+        assert not path.read_text().rstrip().splitlines()[-1].startswith("#")
+        writer.append(self.OPS[2])
+        writer.close()
+        assert read_trace(path, strict=True) == self.OPS
         path = tmp_path / "wal.trace"
         self._sealed(path)
         with pytest.raises(TraceError, match="sealed"):

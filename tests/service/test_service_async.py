@@ -12,6 +12,7 @@ granularity.
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import pytest
 
@@ -223,6 +224,44 @@ class TestProtocol:
 
         run(body())
 
+    def test_malformed_inputs_answer_not_disconnect(self, tmp_path):
+        """Regression: non-numeric ``n``/``vertices`` used to escape as a
+        raw ValueError/TypeError, dropping the connection with no
+        response.  Every malformed request must answer {ok: false}."""
+        async def body():
+            svc = await _start(tmp_path)
+            client = await ServiceClient.open(*svc.address)
+            with pytest.raises(ServiceError, match="bad tenant parameters"):
+                await client.request(
+                    {"op": "create", "tenant": "t", "n": "abc"}
+                )
+            await client.create("t", n=16, seed=1)
+            with pytest.raises(ServiceError, match="vertex ids must be ints"):
+                await client.request(
+                    {"op": "query", "tenant": "t", "what": "coreness",
+                     "vertices": ["x"]}
+                )
+            with pytest.raises(ServiceError, match="list of vertex ids"):
+                await client.request(
+                    {"op": "query", "tenant": "t", "what": "orientation",
+                     "vertices": "0"}
+                )
+            # a genuine bug past validation still answers, not disconnects
+            async def buggy(req):
+                raise RuntimeError("injected dispatch bug")
+            svc._dispatch = buggy
+            with pytest.raises(ServiceError, match="internal error"):
+                await client.ping()
+            del svc._dispatch  # restore the real dispatch
+            assert (await client.ping())["ok"]  # the connection survived
+            assert svc.registry.counter(
+                "repro_service_internal_errors_total"
+            ).value == 1
+            await client.close()
+            await svc.stop()
+
+        run(body())
+
     def test_metrics_reflect_ingest_and_queries(self, tmp_path):
         async def body():
             svc = await _start(tmp_path)
@@ -243,6 +282,136 @@ class TestProtocol:
             assert reg.counter(
                 "repro_service_queries_total", tenant="t", what="coreness"
             ).value == 1
+            await client.close()
+            await svc.stop()
+
+        run(body())
+
+
+class TestQuarantine:
+    """Apply/recovery failures isolate one tenant, never the fleet.
+
+    Regression: an apply failure on a no-wait ingest used to increment a
+    counter and nothing else — the ack stood, later batches kept applying
+    on top of the divergence, and the poisoned WAL then aborted the whole
+    service's next boot.
+    """
+
+    def test_apply_failure_quarantines_tenant_not_service(self, tmp_path):
+        async def body():
+            svc = await _start(tmp_path)
+            client = await ServiceClient.open(*svc.address)
+            await client.create("good", n=16, seed=1)
+            await client.create("bad", n=16, seed=1)
+
+            def boom(op):
+                raise RuntimeError("injected ladder fault")
+
+            svc.tenants["bad"].apply = boom
+            # the no-wait ack stands (the batch is durably in the WAL)...
+            assert (await client.ingest("bad", "insert", [(0, 1)]))["ok"]
+            await client.drain()
+            # ...but the tenant is now loudly quarantined, not diverging
+            with pytest.raises(ServiceError, match="quarantined"):
+                await client.query("bad", "stats")
+            with pytest.raises(ServiceError, match="quarantined"):
+                await client.ingest("bad", "insert", [(1, 2)])
+            listing = await client.tenants()
+            assert listing["tenants"]["bad"]["quarantined"]
+            assert "bad" in listing["quarantined"]
+            assert not listing["tenants"]["good"]["quarantined"]
+            # the healthy tenant is untouched
+            resp = await client.ingest("good", "insert", [(0, 1)], wait=True)
+            assert resp["epoch"] == 1
+            await client.close()
+            await svc.stop()
+
+        run(body())
+
+    def test_wait_ingest_surfaces_apply_failure(self, tmp_path):
+        async def body():
+            svc = await _start(tmp_path)
+            client = await ServiceClient.open(*svc.address)
+            await client.create("t", n=16, seed=1)
+
+            def boom(op):
+                raise RuntimeError("injected ladder fault")
+
+            svc.tenants["t"].apply = boom
+            with pytest.raises(ServiceError, match="apply failed"):
+                await client.ingest("t", "insert", [(0, 1)], wait=True)
+            await client.close()
+            await svc.stop()
+
+        run(body())
+
+    def test_recovery_failure_quarantines_tenant_not_boot(self, tmp_path):
+        """One tenant's unrecoverable on-disk state must not keep every
+        other tenant's service from starting."""
+        async def body():
+            svc = await _start(tmp_path)
+            client = await ServiceClient.open(*svc.address)
+            await client.create("good", n=16, seed=1)
+            await client.ingest("good", "insert", [(0, 1)], wait=True)
+            await client.create("bad", n=16, seed=1)
+            await client.close()
+            await svc.stop()
+            (tmp_path / "bad" / "meta.json").write_text("not json at all")
+            svc2 = await _start(tmp_path)  # boots despite the bad tenant
+            client2 = await ServiceClient.open(*svc2.address)
+            resp = await client2.query("good", "coreness")
+            assert resp["epoch"] == 1
+            with pytest.raises(ServiceError, match="quarantined"):
+                await client2.query("bad", "stats")
+            with pytest.raises(ServiceError, match="quarantined"):
+                await client2.create("bad", n=16, seed=1)
+            await client2.close()
+            await svc2.stop()
+
+        run(body())
+
+
+class TestBackpressure:
+    def test_apply_backlog_is_bounded(self, tmp_path):
+        """Regression: the apply queues were unbounded, so a fast writer
+        accumulated arbitrary accepted-but-unapplied batches in memory.
+        At ``max_pending`` the ack must stall until the lane drains."""
+        async def body():
+            svc = await _start(tmp_path, max_pending=2)
+            client = await ServiceClient.open(*svc.address)
+            await client.create("t", n=16, seed=1)
+            gate = threading.Event()
+            shard = svc.tenants["t"]
+            real_apply = shard.apply
+
+            def slow_apply(op):
+                gate.wait(30)
+                return real_apply(op)
+
+            shard.apply = slow_apply
+            clients = [
+                await ServiceClient.open(*svc.address) for _ in range(6)
+            ]
+            tasks = [
+                asyncio.create_task(
+                    c.ingest("t", "insert", [(i, i + 1)])
+                )
+                for i, c in enumerate(clients)
+            ]
+            await asyncio.sleep(0.4)
+            # at most 1 applying + max_pending queued acks went out; the
+            # rest are stalled on the full lane (before the fix all 6
+            # acked immediately)
+            acked = sum(t.done() for t in tasks)
+            assert acked <= 3, f"{acked} acks with a 2-deep lane"
+            assert all(q.qsize() <= 2 for q in svc._queues)
+            gate.set()
+            await asyncio.gather(*tasks)
+            await client.drain()
+            stats = await client.query("t", "stats")
+            assert stats["epoch"] == 6 and stats["pending"] == 0
+            for c in clients:
+                await c.close()
             await client.close()
             await svc.stop()
 

@@ -85,6 +85,18 @@ class TestValidation:
             shard.accept(BatchOp("insert", ((0, CFG.n),)))
         assert shard.accepted == 0
 
+    def test_rejects_negative_endpoint(self, tmp_path):
+        """Regression: only the upper endpoint was bounded, so an edge
+        like (-5, 3) was accepted, WAL-logged, and replayed on every
+        restart — negative ids would wrap any array-indexed substrate."""
+        shard = TenantShard("t", tmp_path / "t", CFG)
+        with pytest.raises(BatchError, match="universe"):
+            shard.accept(BatchOp("insert", ((-5, 3),)))
+        assert shard.accepted == 0
+        shard.close()
+        # nothing leaked into the WAL either
+        assert TenantShard("t", tmp_path / "t", CFG).accepted == 0
+
     def test_rejects_duplicate_and_unknown(self, tmp_path):
         shard = TenantShard("t", tmp_path / "t", CFG)
         with pytest.raises(BatchError, match="duplicate"):
